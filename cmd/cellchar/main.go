@@ -1,0 +1,130 @@
+// Command cellchar characterizes the 6T SRAM cell with the bundled circuit
+// simulator: noise margins, read current, leakage and write delay for the
+// LVT and HVT flavors, with and without the paper's assist techniques.
+//
+// Usage:
+//
+//	cellchar [-vdd 0.45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sramco/internal/cell"
+	"sramco/internal/device"
+	"sramco/internal/unit"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cellchar: ")
+	vdd := flag.Float64("vdd", device.Vdd, "nominal supply voltage (V)")
+	butterfly := flag.String("butterfly", "", "write read-butterfly CSVs (hold+read) with this filename prefix")
+	flag.Parse()
+
+	if *butterfly != "" {
+		if err := writeButterflies(*butterfly, *vdd); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	w := os.Stdout
+	for _, f := range []device.Flavor{device.LVT, device.HVT} {
+		c := cell.New(f)
+		fmt.Fprintf(w, "=== 6T-%s @ Vdd=%s ===\n", f, unit.Volts(*vdd))
+
+		leak, err := c.LeakagePower(*vdd)
+		check(err)
+		fmt.Fprintf(w, "  leakage power        %s\n", unit.Watts(leak))
+
+		hsnm, err := c.HoldSNM(*vdd)
+		check(err)
+		fmt.Fprintf(w, "  hold SNM             %s (%.0f%% of Vdd)\n", unit.Volts(hsnm), 100*hsnm / *vdd)
+
+		rb := cell.NominalRead(*vdd)
+		rsnm, err := c.ReadSNM(rb)
+		check(err)
+		fmt.Fprintf(w, "  read SNM (no assist) %s (%.0f%% of Vdd)\n", unit.Volts(rsnm), 100*rsnm / *vdd)
+
+		ir, err := c.ReadCurrent(rb)
+		check(err)
+		fmt.Fprintf(w, "  read current         %s\n", unit.Amps(ir))
+
+		wb := cell.NominalWrite(*vdd)
+		wm, err := c.WriteMargin(wb)
+		check(err)
+		fmt.Fprintf(w, "  write margin         %s (%.0f%% of Vdd)\n", unit.Volts(wm), 100*wm / *vdd)
+
+		wd, err := c.WriteDelay(wb)
+		check(err)
+		fmt.Fprintf(w, "  cell write delay     %s\n", unit.Seconds(wd))
+
+		for _, vddc := range []float64{0.50, 0.55, 0.60, 0.64} {
+			rb2 := rb
+			rb2.VDDC = vddc
+			r2, err := c.ReadSNM(rb2)
+			check(err)
+			i2, err := c.ReadCurrent(rb2)
+			check(err)
+			fmt.Fprintf(w, "  VDDC=%s: RSNM %s, Iread %s\n", unit.Volts(vddc), unit.Volts(r2), unit.Amps(i2))
+		}
+		for _, vssc := range []float64{-0.06, -0.12, -0.18, -0.24} {
+			rb2 := rb
+			rb2.VSSC = vssc
+			r2, err := c.ReadSNM(rb2)
+			check(err)
+			i2, err := c.ReadCurrent(rb2)
+			check(err)
+			fmt.Fprintf(w, "  VSSC=%s: RSNM %s, Iread %s\n", unit.Volts(vssc), unit.Volts(r2), unit.Amps(i2))
+		}
+		for _, vwl := range []float64{0.49, 0.54, 0.60} {
+			wb2 := wb
+			wb2.VWL = vwl
+			m2, err := c.WriteMargin(wb2)
+			check(err)
+			fmt.Fprintf(w, "  VWL=%s: WM %s\n", unit.Volts(vwl), unit.Volts(m2))
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeButterflies exports hold and read butterfly branches of both flavors
+// as CSV files (x, yA, yB interleaved per curve sample).
+func writeButterflies(prefix string, vdd float64) error {
+	for _, f := range []device.Flavor{device.LVT, device.HVT} {
+		c := cell.New(f)
+		hold, err := c.HoldButterfly(vdd)
+		if err != nil {
+			return err
+		}
+		read, err := c.ReadButterfly(cell.NominalRead(vdd))
+		if err != nil {
+			return err
+		}
+		for name, bf := range map[string]*cell.Butterfly{"hold": hold, "read": read} {
+			path := fmt.Sprintf("%s_%s_%s.csv", prefix, f, name)
+			var sb strings.Builder
+			sb.WriteString("branch,x,y\n")
+			for i := range bf.A.X {
+				fmt.Fprintf(&sb, "A,%g,%g\n", bf.A.X[i], bf.A.Y[i])
+			}
+			for i := range bf.B.X {
+				fmt.Fprintf(&sb, "B,%g,%g\n", bf.B.X[i], bf.B.Y[i])
+			}
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				return err
+			}
+			log.Printf("wrote %s", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command spicesim runs a SPICE-dialect netlist deck on the bundled circuit
+// simulator and the 7 nm FinFET library. It exists so the characterization
+// substrate can be exercised standalone — any cell or peripheral circuit in
+// this repository can be expressed as a deck and inspected directly.
+//
+// Usage:
+//
+//	spicesim deck.sp          # run a deck file
+//	spicesim -                # read the deck from stdin
+//
+// Example deck (an inverter VTC):
+//
+//	vdd vdd 0 DC 450m
+//	vin in 0 DC 0
+//	mp out in vdd plvt
+//	mn out in 0 nlvt
+//	.dc vin 0 450m 10m
+//	.print v(out)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sramco/internal/spice"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spicesim: ")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: spicesim <deck.sp | ->")
+	}
+
+	var r io.Reader
+	if flag.Arg(0) == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	deck, err := spice.Parse(r, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if deck.Title != "" {
+		fmt.Printf("* %s\n", deck.Title)
+	}
+	if err := deck.Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

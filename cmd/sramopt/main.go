@@ -1,0 +1,182 @@
+// Command sramopt runs the device-circuit-architecture co-optimization for
+// one SRAM array capacity and prints the optimal design point (a Table-4
+// style row) together with its full delay/energy breakdown.
+//
+// Usage:
+//
+//	sramopt [-bytes 4096] [-flavor hvt] [-method m2] [-mode paper] [-breakdown]
+//	        [-compare geom NRxNC:Npre:Nwr:VSSCmV]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sramco/internal/array"
+	"sramco/internal/core"
+	"sramco/internal/device"
+	"sramco/internal/unit"
+	"sramco/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sramopt: ")
+	bytes := flag.Int("bytes", 4096, "array capacity in bytes (power of two)")
+	flavorStr := flag.String("flavor", "hvt", "cell flavor: lvt or hvt")
+	methodStr := flag.String("method", "m2", "rail method: m1 (one extra rail) or m2 (unrestricted)")
+	modeStr := flag.String("mode", "paper", "calibration mode: paper or simulated")
+	breakdown := flag.Bool("breakdown", false, "print the full component breakdown")
+	compare := flag.String("compare", "", "also evaluate a fixed design NRxNC:Npre:Nwr:VSSCmV")
+	sensitivity := flag.Bool("sensitivity", false, "print the neighbor sensitivity of the optimum")
+	dwl := flag.Bool("dwl", false, "also search divided-wordline segmentation (extension)")
+	flag.Parse()
+
+	flavor, err := parseFlavor(*flavorStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	method, err := parseMethod(*methodStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := core.TechPaper
+	if strings.EqualFold(*modeStr, "simulated") {
+		mode = core.TechSimulated
+	} else if !strings.EqualFold(*modeStr, "paper") {
+		log.Fatalf("unknown mode %q", *modeStr)
+	}
+
+	fw, err := core.NewFramework(mode, core.FrameworkOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{CapacityBits: *bytes * 8, Flavor: flavor, Method: method, SearchWLSegs: *dwl}
+	opt, err := fw.Optimize(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, r := opt.Best.Design, opt.Best.Result
+	fmt.Printf("%s 6T-%v-%v (%s mode): optimum over %d evaluations\n",
+		unit.Bytes(*bytes*8), flavor, method, mode, opt.Evaluated)
+	fmt.Printf("  n_r=%d n_c=%d N_pre=%d N_wr=%d VDDC=%s VSSC=%s VWL=%s",
+		d.Geom.NR, d.Geom.NC, d.Geom.Npre, d.Geom.Nwr,
+		unit.Volts(d.VDDC), unit.Volts(d.VSSC), unit.Volts(d.VWL))
+	if s := d.Geom.Segments(); s > 1 {
+		fmt.Printf(" WLsegs=%d", s)
+	}
+	fmt.Println()
+	printResult(r)
+	if *breakdown {
+		printBreakdown(r)
+	}
+	if *sensitivity {
+		sens, err := fw.SensitivityAt(opts, opt.Best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  neighbor sensitivity (objective relative to optimum; n/a = outside space):")
+		for _, s := range sens {
+			fmt.Printf("    %-6s down %-8s up %s\n", s.Variable, relStr(s.DownRel), relStr(s.UpRel))
+		}
+	}
+
+	if *compare != "" {
+		cd, err := parseDesign(*compare, *bytes*8, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tech, err := fw.ArrayTech(flavor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cr, err := array.Evaluate(tech, cd, r.Activity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("comparison design n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%s:\n",
+			cd.Geom.NR, cd.Geom.NC, cd.Geom.Npre, cd.Geom.Nwr, unit.Volts(cd.VSSC))
+		printResult(cr)
+		if *breakdown {
+			printBreakdown(cr)
+		}
+	}
+}
+
+func relStr(v float64) string {
+	if v != v { // NaN
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func printResult(r *array.Result) {
+	fmt.Printf("  D_rd=%s D_wr=%s D_array=%s\n",
+		unit.Seconds(r.DRead), unit.Seconds(r.DWrite), unit.Seconds(r.DArray))
+	fmt.Printf("  E_sw,rd=%s E_sw,wr=%s E_leak=%s E_array=%s\n",
+		unit.Joules(r.ESwRead), unit.Joules(r.ESwWrite), unit.Joules(r.ELeak), unit.Joules(r.EArray))
+	fmt.Printf("  EDP=%.4g J·s\n", r.EDP)
+}
+
+func printBreakdown(r *array.Result) {
+	b := r.Parts
+	fmt.Println("  read delay:")
+	fmt.Printf("    row_dec=%s row_drv=%s WL=%s BL=%s | col_dec=%s col_drv=%s COL=%s | SA=%s PRE=%s\n",
+		unit.Seconds(b.DRowDec), unit.Seconds(b.DRowDrv), unit.Seconds(b.DWLRead), unit.Seconds(b.DBLRead),
+		unit.Seconds(b.DColDec), unit.Seconds(b.DColDrv), unit.Seconds(b.DCOL),
+		unit.Seconds(b.DSenseAmp), unit.Seconds(b.DPreRead))
+	fmt.Println("  write delay:")
+	fmt.Printf("    WL=%s BL=%s cell=%s PRE=%s\n",
+		unit.Seconds(b.DWLWrite), unit.Seconds(b.DBLWrite), unit.Seconds(b.DWriteCell), unit.Seconds(b.DPreWrite))
+	fmt.Println("  read energy:")
+	fmt.Printf("    row_dec=%s row_drv=%s WL=%s BL=%s SA=%s PRE=%s CVDD=%s CVSS=%s col=%s\n",
+		unit.Joules(b.ERowDec), unit.Joules(b.ERowDrv), unit.Joules(b.EWLRead), unit.Joules(b.EBLRead),
+		unit.Joules(b.ESenseAmp), unit.Joules(b.EPreRead), unit.Joules(b.ECVDD), unit.Joules(b.ECVSS),
+		unit.Joules(b.EColDec+b.EColDrv+b.ECOL))
+	fmt.Println("  write energy:")
+	fmt.Printf("    WL=%s BL=%s cell=%s PRE=%s\n",
+		unit.Joules(b.EWLWrite), unit.Joules(b.EBLWrite), unit.Joules(b.EWriteCell), unit.Joules(b.EPreWrite))
+	fmt.Printf("  rail settling: CVDD=%s CVSS=%s (in time: %v)\n",
+		unit.Seconds(b.DCVDD), unit.Seconds(b.DCVSS), r.RailsSettleInTime)
+}
+
+func parseFlavor(s string) (device.Flavor, error) {
+	switch strings.ToLower(s) {
+	case "lvt":
+		return device.LVT, nil
+	case "hvt":
+		return device.HVT, nil
+	}
+	return 0, fmt.Errorf("unknown flavor %q (want lvt or hvt)", s)
+}
+
+func parseMethod(s string) (core.Method, error) {
+	switch strings.ToLower(s) {
+	case "m1":
+		return core.M1, nil
+	case "m2":
+		return core.M2, nil
+	}
+	return 0, fmt.Errorf("unknown method %q (want m1 or m2)", s)
+}
+
+// parseDesign parses "NRxNC:Npre:Nwr:VSSCmV", inheriting rails from base.
+func parseDesign(s string, bits int, base array.Design) (array.Design, error) {
+	var nr, nc, npre, nwr, vsscMV int
+	if _, err := fmt.Sscanf(s, "%dx%d:%d:%d:%d", &nr, &nc, &npre, &nwr, &vsscMV); err != nil {
+		return array.Design{}, fmt.Errorf("cannot parse design %q: %w", s, err)
+	}
+	if nr*nc != bits {
+		return array.Design{}, fmt.Errorf("design %dx%d holds %d bits, want %d", nr, nc, nr*nc, bits)
+	}
+	w := 64
+	if nc < w {
+		w = nc
+	}
+	d := base
+	d.Geom = wire.Geometry{NR: nr, NC: nc, W: w, Npre: npre, Nwr: nwr}
+	d.VSSC = float64(vsscMV) / 1000
+	return d, nil
+}

@@ -1,0 +1,97 @@
+// Assistexplorer: interactively explore the assist-technique trade-offs of
+// paper §3 on the simulated 6T cell.
+//
+// For every catalogued technique it sweeps the knob voltage and prints the
+// affected margin together with the cost metric (bitline delay for read
+// assists, nothing is free!), annotating which techniques the paper adopts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sramco/internal/assist"
+	"sramco/internal/cell"
+	"sramco/internal/device"
+	"sramco/internal/exp"
+	"sramco/internal/unit"
+)
+
+func main() {
+	log.SetFlags(0)
+	vdd := device.Vdd
+	flavor := device.HVT
+	delta := 0.35 * vdd
+
+	fmt.Printf("Assist techniques on 6T-%v at Vdd=%s (yield target: margins >= %s)\n\n",
+		flavor, unit.Volts(vdd), unit.Volts(delta))
+
+	for _, tech := range assist.All() {
+		status := "evaluated, rejected by the paper"
+		if tech.Adopted() {
+			status = "ADOPTED by the paper"
+		}
+		fmt.Printf("--- %s (%s assist; %s) ---\n", tech, tech.Kind(), status)
+		switch tech {
+		case assist.VddBoost:
+			rows, err := exp.Fig3b(flavor, vdd, []float64{0.45, 0.50, 0.55, 0.60, 0.64})
+			exitOn(err)
+			printRead("VDDC", rows, delta)
+		case assist.NegativeGnd:
+			rows, err := exp.Fig3c(flavor, vdd, []float64{0, -0.06, -0.12, -0.18, -0.24})
+			exitOn(err)
+			printRead("VSSC", rows, delta)
+		case assist.WLUnderdrive:
+			rows, err := exp.Fig3d(flavor, vdd, []float64{0.45, 0.40, 0.35, 0.30})
+			exitOn(err)
+			printRead("VWL", rows, delta)
+		case assist.WLOverdrive:
+			rows, err := exp.Fig5a(flavor, vdd, []float64{0.45, 0.49, 0.54, 0.58, 0.62})
+			exitOn(err)
+			printWrite("VWL", rows, delta)
+		case assist.NegativeBL:
+			rows, err := exp.Fig5b(flavor, vdd, []float64{0, -0.05, -0.10, -0.15})
+			exitOn(err)
+			printWrite("VBL", rows, delta)
+		}
+		fmt.Println()
+	}
+
+	// Show the combined operating point the paper lands on.
+	c := cell.New(flavor)
+	rb := cell.ReadBias{Vdd: vdd, VDDC: 0.55, VSSC: -0.24, VWL: vdd}
+	rsnm, err := c.ReadSNM(rb)
+	exitOn(err)
+	ir, err := c.ReadCurrent(rb)
+	exitOn(err)
+	fmt.Printf("Combined read assists (VDDC=550mV + VSSC=-240mV): RSNM=%s, I_read=%s\n",
+		unit.Volts(rsnm), unit.Amps(ir))
+}
+
+func printRead(knob string, rows []exp.AssistRow, delta float64) {
+	for _, r := range rows {
+		mark := " "
+		if r.RSNM >= delta {
+			mark = "*" // meets yield
+		}
+		fmt.Printf("  %s=%7s  RSNM=%7s%s  I_read=%8s  BL delay(64 cells)=%s\n",
+			knob, unit.Volts(r.V), unit.Volts(r.RSNM), mark, unit.Amps(r.IRead), unit.Seconds(r.BLDelay))
+	}
+}
+
+func printWrite(knob string, rows []exp.WriteAssistRow, delta float64) {
+	for _, r := range rows {
+		mark := " "
+		if r.WM >= delta {
+			mark = "*"
+		}
+		fmt.Printf("  %s=%7s  WM=%7s%s  cell write delay=%s\n",
+			knob, unit.Volts(r.V), unit.Volts(r.WM), mark, unit.Seconds(r.WriteDelay))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module sramco
+
+go 1.22

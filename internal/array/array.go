@@ -1,0 +1,342 @@
+// Package array implements the paper's analytical SRAM array model (§4):
+// the Table-1 interconnect capacitances, the Table-2 delay/energy components
+// (D = C·ΔV/I, E_sw = C·V·ΔV), the Table-3 read/write delay and switching
+// energy equations, and the Eq. (2)-(5) totals combining switching and
+// leakage energy under the array activity factors.
+package array
+
+import (
+	"fmt"
+	"math"
+
+	"sramco/internal/periph"
+	"sramco/internal/wire"
+)
+
+// Table-2 current coefficients ("obtained for adopted FinFET devices to fit
+// the model with SPICE simulations").
+const (
+	coefCVDD  = 0.30
+	coefCVSS  = 0.15
+	coefWLrd  = 0.25
+	coefWLwr  = 0.18
+	coefCOL   = 0.33
+	coefBLwr  = 0.50
+	coefPRE   = 0.50
+	railFins  = periph.RailDriverFins
+	driveFins = periph.WLDriverFins
+)
+
+// EnergyAccounting selects how per-column components enter the switching
+// energy totals (DESIGN.md interpretation note 1).
+type EnergyAccounting int
+
+const (
+	// WorstCasePath (default) counts each Table-3 component exactly once,
+	// as the equations are literally printed in the paper. This is the
+	// accounting that reproduces the paper's Fig. 7 behavior, where leakage
+	// dominates the energy of large LVT arrays.
+	WorstCasePath EnergyAccounting = iota
+	// AllColumns additionally charges every bitline on the accessed row
+	// (they all discharge and are precharged), W sense amplifiers and write
+	// buffers, and W written cells — the physically conservative
+	// accounting, provided as an ablation.
+	AllColumns
+)
+
+func (e EnergyAccounting) String() string {
+	if e == WorstCasePath {
+		return "worst-case-path"
+	}
+	return "all-columns"
+}
+
+// Tech carries everything the analytical model consults about the
+// technology and the chosen cell flavor. Build one via the core package (or
+// assemble it directly in tests).
+type Tech struct {
+	Periph *periph.Tech    // characterized LVT peripherals
+	Caps   wire.DeviceCaps // per-fin device capacitances entering Table 1
+
+	Vdd     float64 // nominal supply (V)
+	DeltaVS float64 // bitline sense voltage ΔVs (V)
+
+	LeakCell float64 // P_leak,sram: standby leakage power per cell (W)
+
+	// IRead is the cell read current as a function of the read-assist rails
+	// (characterized LUT or the paper's fitted law).
+	IRead func(vddc, vssc float64) float64
+	// WriteDelayCell is the cell-level write delay as a function of the
+	// write wordline voltage.
+	WriteDelayCell func(vwl float64) float64
+	// WriteEnergyCell is the cell-internal switching energy of one write.
+	WriteEnergyCell float64
+
+	// DCDCFactor scales assist-rail energies for DC-DC converter
+	// inefficiency ("multiplied by a scaling factor", §5).
+	DCDCFactor float64
+
+	Accounting EnergyAccounting
+}
+
+// Validate reports structural problems in the technology description.
+func (t *Tech) Validate() error {
+	if t.Periph == nil {
+		return fmt.Errorf("array: nil peripheral tech")
+	}
+	if err := t.Caps.Validate(); err != nil {
+		return err
+	}
+	if t.Vdd <= 0 || t.DeltaVS <= 0 || t.DeltaVS >= t.Vdd {
+		return fmt.Errorf("array: invalid Vdd=%g / ΔVs=%g", t.Vdd, t.DeltaVS)
+	}
+	if t.LeakCell < 0 {
+		return fmt.Errorf("array: negative cell leakage %g", t.LeakCell)
+	}
+	if t.IRead == nil || t.WriteDelayCell == nil {
+		return fmt.Errorf("array: missing IRead/WriteDelayCell providers")
+	}
+	if t.DCDCFactor < 1 {
+		return fmt.Errorf("array: DC-DC factor %g must be ≥ 1", t.DCDCFactor)
+	}
+	return nil
+}
+
+// Design is one candidate array design point: the organization plus the
+// assist rail voltages.
+type Design struct {
+	Geom wire.Geometry
+	VDDC float64 // cell supply rail during read
+	VSSC float64 // cell ground rail during read (≤ 0)
+	VWL  float64 // wordline rail during write
+}
+
+// Validate checks the design against the paper's structural constraints.
+func (d Design) Validate(t *Tech) error {
+	if err := d.Geom.Validate(); err != nil {
+		return err
+	}
+	if d.VDDC < t.Vdd {
+		return fmt.Errorf("array: VDDC=%g below Vdd=%g", d.VDDC, t.Vdd)
+	}
+	if d.VSSC > 0 {
+		return fmt.Errorf("array: VSSC=%g must be ≤ 0", d.VSSC)
+	}
+	if d.VWL < t.Vdd {
+		return fmt.Errorf("array: VWL=%g below Vdd=%g (WLOD only)", d.VWL, t.Vdd)
+	}
+	return nil
+}
+
+// Activity carries the workload parameters of Eq. (3)/(5).
+type Activity struct {
+	Alpha float64 // probability of accessing the array in a cycle
+	Beta  float64 // fraction of accesses that are reads
+}
+
+// Validate checks both factors are probabilities.
+func (a Activity) Validate() error {
+	if a.Alpha < 0 || a.Alpha > 1 || a.Beta < 0 || a.Beta > 1 {
+		return fmt.Errorf("array: activity α=%g β=%g must be within [0,1]", a.Alpha, a.Beta)
+	}
+	return nil
+}
+
+// Breakdown itemizes every Table-2/Table-3 component (seconds and joules).
+type Breakdown struct {
+	// Divided-wordline split of the WL delays (zero for flat wordlines):
+	// DWLRead/DWLWrite then hold the global+AND+local total.
+	DWLGlobal, DWLLocal float64
+
+	// Read-path delays.
+	DRowDec, DRowDrv, DWLRead, DBLRead float64
+	DColDec, DColDrv, DCOL             float64
+	DSenseAmp, DPreRead                float64
+	// Write-path delays.
+	DWLWrite, DBLWrite, DWriteCell, DPreWrite float64
+	// Assist rail settling (feasibility, not on the access critical path).
+	DCVDD, DCVSS float64
+
+	// Read energies.
+	ERowDec, ERowDrv, EWLRead, EBLRead float64
+	EColDec, EColDrv, ECOL             float64
+	ESenseAmp, EPreRead, ECVDD, ECVSS  float64
+	// Write energies.
+	EWLWrite, EBLWrite, EWriteCell, EPreWrite float64
+}
+
+// Result is the full evaluation of one design point.
+type Result struct {
+	Design   Design
+	Activity Activity
+
+	DRead  float64 // D_rd (Table 3)
+	DWrite float64 // D_wr (Table 3)
+	DArray float64 // Eq. (2)
+
+	ESwRead  float64 // E_sw,rd (Table 3)
+	ESwWrite float64 // E_sw,wr (Table 3)
+	ESw      float64 // Eq. (3)
+	ELeak    float64 // Eq. (4)
+	EArray   float64 // Eq. (5)
+
+	EDP float64 // E_array · D_array
+
+	// RailsSettleInTime reports the paper's §4 requirement that CVDD and
+	// CVSS reach their assist levels before the wordline reaches 50 % of
+	// Vdd (guaranteed by the fixed 20-fin rail drivers).
+	RailsSettleInTime bool
+
+	Parts Breakdown
+}
+
+// component computes Eq. (1): D = C·ΔV/I and E = C·V·ΔV.
+func component(c, v, dv, i float64) (delay, energy float64) {
+	if dv == 0 || c == 0 {
+		return 0, 0
+	}
+	return c * dv / i, c * v * dv
+}
+
+// Evaluate computes the full array model for one design point.
+func Evaluate(t *Tech, d Design, act Activity) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(t); err != nil {
+		return nil, err
+	}
+	if err := act.Validate(); err != nil {
+		return nil, err
+	}
+	g := d.Geom
+	p := t.Periph
+	var b Breakdown
+
+	// --- Table 1 capacitances ---
+	cCVDD := wire.CVDD(g, t.Caps)
+	cCVSS := wire.CVSS(g, t.Caps)
+	cWL := wire.WL(g, t.Caps)
+	cCOL := wire.COL(g, t.Caps)
+	cBL := wire.BL(g, t.Caps)
+
+	// --- Table 2 components ---
+	b.DCVDD, b.ECVDD = component(cCVDD, t.Vdd, d.VDDC-t.Vdd, coefCVDD*railFins*p.ICVDD(d.VDDC))
+	b.DCVSS, b.ECVSS = component(cCVSS, t.Vdd, math.Abs(d.VSSC), coefCVSS*railFins*p.ICVSS(d.VSSC))
+	if segs := g.Segments(); segs > 1 {
+		// Divided wordline: global wire + per-segment AND + local wordline.
+		cGWL := wire.GWL(g, t.Caps)
+		cLWL := wire.LWL(g, t.Caps)
+		lwlFins := float64(wire.LWLDriverFins())
+		dAnd := 2 * p.Tau * (2 + p.PInv) // NAND2 + local driver input stage
+		eAnd := lwlFins * (t.Caps.Cgn + t.Caps.Cgp) * t.Vdd * t.Vdd
+		dg, eg := component(cGWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
+		dl, el := component(cLWL, t.Vdd, t.Vdd, coefWLrd*lwlFins*p.IONPfet())
+		b.DWLGlobal, b.DWLLocal = dg, dl
+		b.DWLRead = dg + dAnd + dl
+		b.EWLRead = eg + eAnd + el
+		dlw, elw := component(cLWL, t.Vdd, d.VWL, coefWLwr*lwlFins*p.IWL(d.VWL))
+		b.DWLWrite = dg + dAnd + dlw
+		b.EWLWrite = eg + eAnd + elw
+	} else {
+		b.DWLRead, b.EWLRead = component(cWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
+		b.DWLWrite, b.EWLWrite = component(cWL, t.Vdd, d.VWL, coefWLwr*driveFins*p.IWL(d.VWL))
+	}
+	b.DCOL, b.ECOL = component(cCOL, t.Vdd, t.Vdd, coefCOL*driveFins*p.IONPfet())
+	iRead := t.IRead(d.VDDC, d.VSSC)
+	if iRead <= 0 {
+		return nil, fmt.Errorf("array: non-positive read current %g at VDDC=%g VSSC=%g", iRead, d.VDDC, d.VSSC)
+	}
+	b.DBLRead, b.EBLRead = component(cBL, d.VDDC-d.VSSC, t.DeltaVS, iRead)
+	b.DBLWrite, b.EBLWrite = component(cBL, t.Vdd, t.Vdd, coefBLwr*float64(g.Nwr)*p.IONTG())
+	b.DPreRead, b.EPreRead = component(cBL, t.Vdd, t.DeltaVS, coefPRE*float64(g.Npre)*p.IONPfet())
+	b.DPreWrite, b.EPreWrite = component(cBL, t.Vdd, t.Vdd, coefPRE*float64(g.Npre)*p.IONPfet())
+
+	// --- Peripheral blocks ---
+	rowDec := p.RowDecoder(g)
+	colDec := p.ColumnDecoder(g)
+	rowDrv := p.Driver(driveFins)
+	b.DRowDec, b.ERowDec = rowDec.Delay, rowDec.Energy
+	b.DRowDrv, b.ERowDrv = rowDrv.Delay, rowDrv.Energy
+	if g.Muxed() {
+		colDrv := p.Driver(driveFins)
+		b.DColDec, b.EColDec = colDec.Delay, colDec.Energy
+		b.DColDrv, b.EColDrv = colDrv.Delay, colDrv.Energy
+	}
+	b.DSenseAmp, b.ESenseAmp = p.SADelay, p.SAEnergy
+	b.DWriteCell = t.WriteDelayCell(d.VWL)
+	b.EWriteCell = t.WriteEnergyCell
+
+	// --- Table 3 delays ---
+	readRow := b.DRowDec + b.DRowDrv + b.DWLRead + b.DBLRead
+	readCol := b.DColDec + b.DColDrv + b.DCOL
+	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+
+	writeRow := b.DRowDec + b.DRowDrv + b.DWLWrite
+	writeCol := b.DColDec + b.DColDrv + b.DCOL + b.DBLWrite
+	dWrite := math.Max(writeRow, writeCol) + b.DWriteCell + b.DPreWrite
+
+	// --- Table 3 energies ---
+	// With a divided wordline only the active segment's columns see the
+	// access disturb.
+	activeCols := float64(g.NC / g.Segments())
+	w := float64(g.W)
+	blRdMult, preRdMult, saMult, wrMult, preWrE := 1.0, 1.0, 1.0, 1.0, b.EPreWrite
+	if t.Accounting == AllColumns {
+		// Every disturbed bitline discharges by ΔVs and is precharged; W
+		// sense amplifiers and write buffers operate; after a write, the W
+		// written columns recover a full swing and the other disturbed
+		// columns recover the read-disturb ΔVs.
+		blRdMult, preRdMult, saMult, wrMult = activeCols, activeCols, w, w
+		preWrE = w*b.EPreWrite + (activeCols-w)*b.EPreRead
+	}
+	dcdc := t.DCDCFactor
+	eRead := b.ERowDec + b.ERowDrv + b.EWLRead + blRdMult*b.EBLRead +
+		b.EColDec + b.EColDrv + b.ECOL +
+		saMult*b.ESenseAmp + preRdMult*b.EPreRead +
+		dcdc*(b.ECVDD+b.ECVSS)
+	eWrite := b.ERowDec + b.ERowDrv + dcdc*b.EWLWrite +
+		b.EColDec + b.EColDrv + b.ECOL +
+		wrMult*b.EBLWrite + wrMult*b.EWriteCell + preWrE
+
+	// --- Eqs. (2)-(5) ---
+	dArray := math.Max(dRead, dWrite)
+	eSw := act.Beta*eRead + (1-act.Beta)*eWrite
+	eLeak := float64(g.Bits()) * t.LeakCell * dArray
+	eArray := act.Alpha*eSw + eLeak
+
+	res := &Result{
+		Design:   d,
+		Activity: act,
+		DRead:    dRead,
+		DWrite:   dWrite,
+		DArray:   dArray,
+		ESwRead:  eRead,
+		ESwWrite: eWrite,
+		ESw:      eSw,
+		ELeak:    eLeak,
+		EArray:   eArray,
+		EDP:      eArray * dArray,
+		Parts:    b,
+	}
+	// Rails must settle before WL reaches 50% (§4).
+	wlHalf := b.DRowDec + b.DRowDrv + 0.5*b.DWLRead
+	res.RailsSettleInTime = math.Max(b.DCVDD, b.DCVSS) <= wlHalf
+	return res, nil
+}
+
+// BLDelay returns just the read bitline delay of a design (used by the
+// Fig. 3 assist sweeps and the Fig. 7(d) breakdown).
+func BLDelay(t *Tech, d Design) (float64, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(t); err != nil {
+		return 0, err
+	}
+	i := t.IRead(d.VDDC, d.VSSC)
+	if i <= 0 {
+		return 0, fmt.Errorf("array: non-positive read current %g", i)
+	}
+	return wire.BL(d.Geom, t.Caps) * t.DeltaVS / i, nil
+}

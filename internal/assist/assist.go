@@ -1,0 +1,140 @@
+// Package assist catalogues the SRAM read/write assist techniques evaluated
+// by the paper (§3) and maps each technique's knob voltage onto the cell
+// bias it perturbs. The paper evaluates five techniques and adopts three:
+// Vdd boost and negative Gnd for read, wordline overdrive for write.
+package assist
+
+import (
+	"fmt"
+
+	"sramco/internal/cell"
+)
+
+// Kind distinguishes read-assist from write-assist techniques.
+type Kind int
+
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Technique enumerates the assist techniques of paper §3.
+type Technique int
+
+const (
+	// WLUnderdrive lowers the read wordline below Vdd, weakening the access
+	// transistor: RSNM improves but read current collapses (Fig. 3(d);
+	// evaluated and rejected).
+	WLUnderdrive Technique = iota
+	// VddBoost raises the cell supply rail to VDDC > Vdd during read,
+	// strengthening the pull-down: RSNM improves with almost no read-delay
+	// cost (Fig. 3(b); adopted).
+	VddBoost
+	// NegativeGnd drives the cell ground rail to VSSC < 0 during read,
+	// strengthening both pull-down and access: the read current rises
+	// steeply (Fig. 3(c); adopted).
+	NegativeGnd
+	// WLOverdrive raises the write wordline to VWL > Vdd, strengthening the
+	// access transistor: write margin and cell write delay improve
+	// (Fig. 5(a); adopted).
+	WLOverdrive
+	// NegativeBL drives the written-0 bitline below ground: larger
+	// gate-to-source voltage on the access transistor (Fig. 5(b);
+	// evaluated and rejected in favor of WLOD).
+	NegativeBL
+	NumTechniques
+)
+
+var techniqueInfo = [NumTechniques]struct {
+	name    string
+	kind    Kind
+	adopted bool
+}{
+	WLUnderdrive: {"WL underdrive", Read, false},
+	VddBoost:     {"Vdd boost", Read, true},
+	NegativeGnd:  {"negative Gnd", Read, true},
+	WLOverdrive:  {"WL overdrive", Write, true},
+	NegativeBL:   {"negative BL", Write, false},
+}
+
+func (t Technique) valid() bool { return t >= 0 && t < NumTechniques }
+
+// String returns the technique's conventional name.
+func (t Technique) String() string {
+	if !t.valid() {
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+	return techniqueInfo[t].name
+}
+
+// Kind returns whether the technique assists reads or writes.
+func (t Technique) Kind() Kind {
+	if !t.valid() {
+		panic(fmt.Sprintf("assist: invalid technique %d", int(t)))
+	}
+	return techniqueInfo[t].kind
+}
+
+// Adopted reports whether the paper adopts the technique in its final
+// co-optimization (Vdd boost + negative Gnd + WL overdrive).
+func (t Technique) Adopted() bool {
+	if !t.valid() {
+		panic(fmt.Sprintf("assist: invalid technique %d", int(t)))
+	}
+	return techniqueInfo[t].adopted
+}
+
+// ApplyRead returns the read bias at supply vdd with the technique's knob
+// set to v (absolute volts: VWL for WLUD, VDDC for boost, VSSC for negative
+// Gnd). It panics for write techniques.
+func (t Technique) ApplyRead(vdd, v float64) cell.ReadBias {
+	b := cell.NominalRead(vdd)
+	switch t {
+	case WLUnderdrive:
+		b.VWL = v
+	case VddBoost:
+		b.VDDC = v
+	case NegativeGnd:
+		b.VSSC = v
+	default:
+		panic(fmt.Sprintf("assist: %v is not a read technique", t))
+	}
+	return b
+}
+
+// ApplyWrite returns the write bias at supply vdd with the technique's knob
+// set to v (VWL for WLOD, VBL for negative BL). It panics for read
+// techniques.
+func (t Technique) ApplyWrite(vdd, v float64) cell.WriteBias {
+	b := cell.NominalWrite(vdd)
+	switch t {
+	case WLOverdrive:
+		b.VWL = v
+	case NegativeBL:
+		b.VBL = v
+	default:
+		panic(fmt.Sprintf("assist: %v is not a write technique", t))
+	}
+	return b
+}
+
+// Adopted returns the three techniques the paper's framework adopts.
+func Adopted() []Technique {
+	return []Technique{VddBoost, NegativeGnd, WLOverdrive}
+}
+
+// All returns every catalogued technique.
+func All() []Technique {
+	ts := make([]Technique, NumTechniques)
+	for i := range ts {
+		ts[i] = Technique(i)
+	}
+	return ts
+}

@@ -1,0 +1,88 @@
+package assist
+
+import (
+	"testing"
+
+	"sramco/internal/device"
+)
+
+func TestCatalogue(t *testing.T) {
+	if len(All()) != int(NumTechniques) {
+		t.Fatalf("All() returned %d techniques, want %d", len(All()), NumTechniques)
+	}
+	wantKind := map[Technique]Kind{
+		WLUnderdrive: Read, VddBoost: Read, NegativeGnd: Read,
+		WLOverdrive: Write, NegativeBL: Write,
+	}
+	for tech, k := range wantKind {
+		if tech.Kind() != k {
+			t.Errorf("%v.Kind() = %v, want %v", tech, tech.Kind(), k)
+		}
+	}
+	adopted := map[Technique]bool{VddBoost: true, NegativeGnd: true, WLOverdrive: true}
+	for _, tech := range All() {
+		if tech.Adopted() != adopted[tech] {
+			t.Errorf("%v.Adopted() = %v, want %v", tech, tech.Adopted(), adopted[tech])
+		}
+	}
+	if len(Adopted()) != 3 {
+		t.Errorf("Adopted() = %v, want 3 techniques", Adopted())
+	}
+	for _, tech := range All() {
+		if tech.String() == "" {
+			t.Errorf("technique %d has empty name", tech)
+		}
+	}
+}
+
+func TestApplyRead(t *testing.T) {
+	vdd := device.Vdd
+	b := VddBoost.ApplyRead(vdd, 0.55)
+	if b.VDDC != 0.55 || b.VSSC != 0 || b.VWL != vdd || b.Vdd != vdd {
+		t.Errorf("VddBoost bias = %+v", b)
+	}
+	b = NegativeGnd.ApplyRead(vdd, -0.24)
+	if b.VSSC != -0.24 || b.VDDC != vdd {
+		t.Errorf("NegativeGnd bias = %+v", b)
+	}
+	b = WLUnderdrive.ApplyRead(vdd, 0.30)
+	if b.VWL != 0.30 || b.VDDC != vdd {
+		t.Errorf("WLUnderdrive bias = %+v", b)
+	}
+}
+
+func TestApplyWrite(t *testing.T) {
+	vdd := device.Vdd
+	b := WLOverdrive.ApplyWrite(vdd, 0.54)
+	if b.VWL != 0.54 || b.VBL != 0 {
+		t.Errorf("WLOverdrive bias = %+v", b)
+	}
+	b = NegativeBL.ApplyWrite(vdd, -0.10)
+	if b.VBL != -0.10 || b.VWL != vdd {
+		t.Errorf("NegativeBL bias = %+v", b)
+	}
+}
+
+func TestApplyWrongKindPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("read tech as write", func() { VddBoost.ApplyWrite(0.45, 0.55) })
+	mustPanic("write tech as read", func() { WLOverdrive.ApplyRead(0.45, 0.54) })
+	mustPanic("invalid kind", func() { Technique(99).Kind() })
+	mustPanic("invalid adopted", func() { Technique(-1).Adopted() })
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Kind.String mismatch")
+	}
+	if Technique(42).String() == "" {
+		t.Error("invalid technique String should still describe itself")
+	}
+}

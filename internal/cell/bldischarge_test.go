@@ -1,0 +1,70 @@
+package cell
+
+import (
+	"testing"
+
+	"sramco/internal/device"
+)
+
+// TestEq1AgreesWithTransient validates the paper's Eq. (1) delay model
+// against full transient simulation: D = C_BL·ΔV_S/I_read must agree with
+// the simulated bitline discharge within a modest band (the analytical form
+// uses the initial-bias current; the transient current varies slightly as
+// the bitline falls).
+func TestEq1AgreesWithTransient(t *testing.T) {
+	c := New(device.HVT)
+	const (
+		cBL    = 5e-15 // ≈ a 64-cell column
+		deltaV = 0.120
+	)
+	for _, b := range []ReadBias{
+		NominalRead(vdd),
+		{Vdd: vdd, VDDC: 0.55, VSSC: 0, VWL: vdd},
+		{Vdd: vdd, VDDC: 0.55, VSSC: -0.24, VWL: vdd},
+	} {
+		iRead, err := c.ReadCurrent(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := cBL * deltaV / iRead
+		sim, err := c.BLDischargeDelay(b, cBL, deltaV)
+		if err != nil {
+			t.Fatalf("bias %+v: %v", b, err)
+		}
+		ratio := sim / analytic
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("bias VDDC=%g VSSC=%g: transient %g vs Eq.(1) %g (ratio %.2f, want 0.5-2.0)",
+				b.VDDC, b.VSSC, sim, analytic, ratio)
+		}
+	}
+}
+
+// TestBLDischargeFasterWithNegativeGnd checks the transient ground truth
+// reproduces Fig. 3(c)'s ordering, independent of the analytical model.
+func TestBLDischargeFasterWithNegativeGnd(t *testing.T) {
+	c := New(device.HVT)
+	const cBL, dv = 5e-15, 0.120
+	b0 := ReadBias{Vdd: vdd, VDDC: 0.55, VSSC: 0, VWL: vdd}
+	b1 := ReadBias{Vdd: vdd, VDDC: 0.55, VSSC: -0.24, VWL: vdd}
+	d0, err := c.BLDischargeDelay(b0, cBL, dv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := c.BLDischargeDelay(b1, cBL, dv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d1 < d0/1.8) {
+		t.Errorf("negative Gnd transient speedup only %g -> %g", d0, d1)
+	}
+}
+
+func TestBLDischargeValidation(t *testing.T) {
+	c := New(device.HVT)
+	if _, err := c.BLDischargeDelay(NominalRead(vdd), 0, 0.12); err == nil {
+		t.Error("zero C_BL accepted")
+	}
+	if _, err := c.BLDischargeDelay(NominalRead(vdd), 5e-15, 0.5); err == nil {
+		t.Error("ΔV ≥ Vdd accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package circuit
+
+import (
+	"testing"
+
+	"sramco/internal/device"
+)
+
+// BenchmarkDCOperatingPoint6T measures a full 6T-cell operating-point solve
+// — the unit of work behind every leakage and read-current measurement.
+func BenchmarkDCOperatingPoint6T(b *testing.B) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vwl", "wl", Ground, DC(0))
+	c.AddV("vbl", "bl", Ground, DC(device.Vdd))
+	c.AddV("vblb", "blb", Ground, DC(device.Vdd))
+	inverter(c, lib, device.HVT, "q", "qb", "VDD")
+	inverter(c, lib, device.HVT, "qb", "q", "VDD")
+	c.AddFET(FET{Name: "maxl", Model: lib.NHVT, Fins: 1, D: "bl", G: "wl", S: "q"})
+	c.AddFET(FET{Name: "maxr", Model: lib.NHVT, Fins: 1, D: "blb", G: "wl", S: "qb"})
+	c.SetIC("q", 0)
+	c.SetIC("qb", device.Vdd)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DCOperatingPoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVTCSweep measures a 181-point inverter VTC sweep with
+// continuation — the unit of work behind every butterfly branch.
+func BenchmarkVTCSweep(b *testing.B) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "in", Ground, DC(0))
+	inverter(c, lib, device.HVT, "in", "out", "VDD")
+	var vins []float64
+	for i := 0; i <= 180; i++ {
+		vins = append(vins, device.Vdd*float64(i)/180)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DCSweep("vin", vins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientInverter measures a 400-step backward-Euler transient.
+func BenchmarkTransientInverter(b *testing.B) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "in", Ground, Step(0, device.Vdd, 10e-12, 2e-12))
+	inverter(c, lib, device.LVT, "in", "out", "VDD")
+	c.AddC("cl", "out", Ground, 1e-15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transient(TranOpts{TStop: 200e-12, DT: 0.5e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"sramco/internal/device"
+)
+
+func TestResistiveDivider(t *testing.T) {
+	c := New()
+	c.AddV("vin", "in", Ground, DC(1.0))
+	c.AddR("r1", "in", "mid", 1e3)
+	c.AddR("r2", "mid", Ground, 3e3)
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("DCOperatingPoint: %v", err)
+	}
+	if got := r.V("mid"); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("V(mid) = %g, want 0.75", got)
+	}
+	// The source delivers 1 V across 4 kΩ = 250 µA.
+	if got := r.SourceCurrent("vin"); math.Abs(got-250e-6) > 1e-12 {
+		t.Fatalf("SourceCurrent = %g, want 250e-6", got)
+	}
+}
+
+func TestCurrentSourceIntoResistor(t *testing.T) {
+	c := New()
+	// 1 mA pushed from ground into node "out" through the source.
+	c.AddI("i1", Ground, "out", DC(1e-3))
+	c.AddR("r1", "out", Ground, 2e3)
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("DCOperatingPoint: %v", err)
+	}
+	if got := r.V("out"); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("V(out) = %g, want 2.0", got)
+	}
+}
+
+func TestFloatingNodeViaGmin(t *testing.T) {
+	// A capacitor-only node is floating in DC; the solve must still succeed
+	// (gmin or the pivot tolerance must not blow up) or error cleanly.
+	c := New()
+	c.AddV("v1", "a", Ground, DC(1))
+	c.AddR("r1", "a", "b", 1e3)
+	c.AddC("c1", "b", Ground, 1e-15)
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("DCOperatingPoint: %v", err)
+	}
+	if got := r.V("b"); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("V(b) = %g, want ~1 (no DC current through R)", got)
+	}
+}
+
+// inverter builds a single-fin CMOS inverter from the given flavor.
+func inverter(c *Circuit, lib *device.Library, f device.Flavor, in, out, vddNode string) {
+	c.AddFET(FET{Name: "mp_" + out, Model: lib.Model(device.PFET, f), Fins: 1, D: out, G: in, S: vddNode})
+	c.AddFET(FET{Name: "mn_" + out, Model: lib.Model(device.NFET, f), Fins: 1, D: out, G: in, S: Ground})
+}
+
+func TestInverterRails(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "in", Ground, DC(0))
+	inverter(c, lib, device.LVT, "in", "out", "VDD")
+
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("input low: %v", err)
+	}
+	if got := r.V("out"); got < device.Vdd*0.98 {
+		t.Fatalf("out with in=0: %g, want ≈Vdd", got)
+	}
+
+	c.SetV("vin", DC(device.Vdd))
+	r, err = c.DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("input high: %v", err)
+	}
+	if got := r.V("out"); got > device.Vdd*0.02 {
+		t.Fatalf("out with in=Vdd: %g, want ≈0", got)
+	}
+}
+
+func TestInverterVTCMonotoneFalling(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "in", Ground, DC(0))
+	inverter(c, lib, device.HVT, "in", "out", "VDD")
+
+	var vins []float64
+	for v := 0.0; v <= device.Vdd+1e-12; v += 0.01 {
+		vins = append(vins, v)
+	}
+	rs, err := c.DCSweep("vin", vins)
+	if err != nil {
+		t.Fatalf("DCSweep: %v", err)
+	}
+	prev := math.Inf(1)
+	for i, r := range rs {
+		out := r.V("out")
+		if out > prev+1e-9 {
+			t.Fatalf("VTC not monotone at vin=%g: %g after %g", vins[i], out, prev)
+		}
+		prev = out
+	}
+	if first := rs[0].V("out"); first < 0.9*device.Vdd {
+		t.Fatalf("VTC start %g, want near Vdd", first)
+	}
+	if last := rs[len(rs)-1].V("out"); last > 0.1*device.Vdd {
+		t.Fatalf("VTC end %g, want near 0", last)
+	}
+}
+
+func TestSRAMLatchBistable(t *testing.T) {
+	lib := device.Default7nm()
+	build := func(q0 float64) *Circuit {
+		c := New()
+		c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+		inverter(c, lib, device.LVT, "q", "qb", "VDD")
+		inverter(c, lib, device.LVT, "qb", "q", "VDD")
+		c.SetIC("q", q0)
+		c.SetIC("qb", device.Vdd-q0)
+		return c
+	}
+	r0, err := build(0).DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("state 0: %v", err)
+	}
+	r1, err := build(device.Vdd).DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("state 1: %v", err)
+	}
+	if r0.V("q") > 0.05 || r0.V("qb") < device.Vdd-0.05 {
+		t.Fatalf("state 0 not held: q=%g qb=%g", r0.V("q"), r0.V("qb"))
+	}
+	if r1.V("q") < device.Vdd-0.05 || r1.V("qb") > 0.05 {
+		t.Fatalf("state 1 not held: q=%g qb=%g", r1.V("q"), r1.V("qb"))
+	}
+}
+
+func TestPassGateConductsBothWays(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vg", "g", Ground, DC(device.Vdd))
+	c.AddV("vin", "a", Ground, DC(0.2))
+	c.AddFET(FET{Name: "mpass", Model: lib.NLVT, Fins: 1, D: "a", G: "g", S: "b"})
+	c.AddR("rload", "b", Ground, 1e7)
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if got := r.V("b"); got < 0.15 || got > 0.2 {
+		t.Fatalf("pass-gate output = %g, want close to 0.2", got)
+	}
+}
+
+func TestDCSweepUnknownSource(t *testing.T) {
+	c := New()
+	c.AddV("v1", "a", Ground, DC(1))
+	c.AddR("r1", "a", Ground, 1e3)
+	if _, err := c.DCSweep("nope", []float64{1}); err == nil {
+		t.Fatal("expected error for unknown source")
+	}
+}
+
+func TestResultUnknownNodePanics(t *testing.T) {
+	c := New()
+	c.AddV("v1", "a", Ground, DC(1))
+	c.AddR("r1", "a", Ground, 1e3)
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown node")
+		}
+	}()
+	r.V("missing")
+}
+
+func TestNetlistValidationPanics(t *testing.T) {
+	c := New()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil model", func() { c.AddFET(FET{Name: "m", Fins: 1, D: "d", G: "g", S: "s"}) })
+	mustPanic("zero fins", func() {
+		c.AddFET(FET{Name: "m", Model: device.Default7nm().NLVT, Fins: 0, D: "d", G: "g", S: "s"})
+	})
+	mustPanic("bad R", func() { c.AddR("r", "a", "b", -5) })
+	mustPanic("bad C", func() { c.AddC("c", "a", "b", 0) })
+	mustPanic("nil waveform", func() { c.AddV("v", "a", "b", nil) })
+	mustPanic("SetV missing", func() { c.SetV("ghost", DC(0)) })
+}
+
+func TestLeakageCurrentMagnitude(t *testing.T) {
+	// An off NFET from a 450 mV source: delivered current equals IOFF.
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddFET(FET{Name: "moff", Model: lib.NHVT, Fins: 1, D: "VDD", G: Ground, S: Ground})
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.SourceCurrent("vdd")
+	want := lib.NHVT.IOFF()
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("leakage = %g, want %g", got, want)
+	}
+}

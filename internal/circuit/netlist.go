@@ -1,0 +1,122 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+
+	"sramco/internal/device"
+)
+
+// WriteNetlist dumps the circuit as a SPICE-dialect deck readable by the
+// internal/spice parser (and by humans when debugging a characterization
+// setup). Time-dependent sources are emitted as PWL cards sampled at their
+// breakpoints; plain DC sources as DC cards. Initial conditions become a
+// single .ic card. Analyses are not part of the circuit and must be
+// appended by the caller.
+func (c *Circuit) WriteNetlist(w io.Writer, title string) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, ".title %s\n", title); err != nil {
+			return err
+		}
+	}
+	for _, v := range c.vsrc {
+		if err := writeSource(w, "v", v.name, c.nodeNames[v.a], c.nodeNames[v.b], v.wave); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.isrc {
+		if err := writeSource(w, "i", s.name, c.nodeNames[s.a], c.nodeNames[s.b], s.wave); err != nil {
+			return err
+		}
+	}
+	for _, f := range c.fets {
+		card := fmt.Sprintf("%s %s %s %s %s", cardName("m", f.Name), c.nodeNames[f.d], c.nodeNames[f.g], c.nodeNames[f.s], modelName(f.Model))
+		if f.Fins != 1 {
+			card += fmt.Sprintf(" fins=%d", f.Fins)
+		}
+		if f.DVt != 0 {
+			card += fmt.Sprintf(" dvt=%g", f.DVt)
+		}
+		if _, err := fmt.Fprintln(w, card); err != nil {
+			return err
+		}
+	}
+	for _, r := range c.res {
+		if _, err := fmt.Fprintf(w, "%s %s %s %g\n", cardName("r", r.name), c.nodeNames[r.a], c.nodeNames[r.b], 1/r.g); err != nil {
+			return err
+		}
+	}
+	for _, cp := range c.caps {
+		if _, err := fmt.Fprintf(w, "%s %s %s %g\n", cardName("c", cp.name), c.nodeNames[cp.a], c.nodeNames[cp.b], cp.cap); err != nil {
+			return err
+		}
+	}
+	if len(c.ic) > 0 {
+		if _, err := fmt.Fprint(w, ".ic"); err != nil {
+			return err
+		}
+		// Deterministic order: follow node registration order.
+		for _, name := range c.nodeNames {
+			if v, ok := c.ic[name]; ok {
+				if _, err := fmt.Fprintf(w, " v(%s)=%g", name, v); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cardName ensures a card name begins with the letter its type requires by
+// the classic SPICE first-letter convention, prefixing when needed.
+func cardName(prefix, name string) string {
+	if len(name) > 0 && (name[0] == prefix[0] || name[0] == prefix[0]-'a'+'A') {
+		return name
+	}
+	return prefix + name
+}
+
+func writeSource(w io.Writer, prefix, name, a, b string, wave Waveform) error {
+	name = cardName(prefix, name)
+	switch wv := wave.(type) {
+	case DC:
+		_, err := fmt.Fprintf(w, "%s %s %s DC %g\n", name, a, b, float64(wv))
+		return err
+	case *PWL:
+		if _, err := fmt.Fprintf(w, "%s %s %s PWL(", name, a, b); err != nil {
+			return err
+		}
+		for i, p := range wv.pts {
+			sep := " "
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%g %g", sep, p.T, p.V); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w, ")")
+		return err
+	default:
+		// Sample unknown waveform types at t=0 as DC.
+		_, err := fmt.Fprintf(w, "%s %s %s DC %g\n", name, a, b, wave.At(0))
+		return err
+	}
+}
+
+// modelName maps a library model to its netlist keyword.
+func modelName(m *device.Model) string {
+	switch {
+	case m.Polarity == device.NFET && m.Flavor == device.LVT:
+		return "nlvt"
+	case m.Polarity == device.NFET && m.Flavor == device.HVT:
+		return "nhvt"
+	case m.Polarity == device.PFET && m.Flavor == device.LVT:
+		return "plvt"
+	default:
+		return "phvt"
+	}
+}

@@ -1,0 +1,143 @@
+package circuit
+
+import (
+	"testing"
+
+	"sramco/internal/device"
+)
+
+// TestRingOscillator is a dynamic end-to-end check of the transient engine:
+// a 3-stage ring of LVT inverters must oscillate rail-to-rail with a stable
+// period in the tens of picoseconds at this node.
+func TestRingOscillator(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	nodes := []string{"n1", "n2", "n3"}
+	for i, out := range nodes {
+		in := nodes[(i+2)%3]
+		inverter(c, lib, device.LVT, in, out, "VDD")
+		c.AddC("c"+out, out, Ground, 0.5e-15)
+	}
+	// Break the symmetry so the ring starts.
+	c.SetIC("n1", device.Vdd)
+	c.SetIC("n2", 0)
+	c.SetIC("n3", device.Vdd/2)
+
+	res, err := c.Transient(TranOpts{TStop: 1.5e-9, DT: 0.25e-12, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := device.Vdd / 2
+	// Collect rising crossings of n1 after startup.
+	var crossings []float64
+	tSearch := 0.3e-9
+	for {
+		tc, err := res.CrossTime("n1", half, RisingEdge, tSearch)
+		if err != nil {
+			break
+		}
+		crossings = append(crossings, tc)
+		tSearch = tc + 1e-12
+	}
+	if len(crossings) < 4 {
+		t.Fatalf("ring produced only %d rising crossings — not oscillating", len(crossings))
+	}
+	// Period stability: successive periods within 10%.
+	periods := make([]float64, 0, len(crossings)-1)
+	for i := 1; i < len(crossings); i++ {
+		periods = append(periods, crossings[i]-crossings[i-1])
+	}
+	for i := 1; i < len(periods); i++ {
+		ratio := periods[i] / periods[i-1]
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("unstable period: %g then %g", periods[i-1], periods[i])
+		}
+	}
+	// Sanity band: a 3-stage ring at 450 mV: tens to a few hundred ps.
+	if p := periods[0]; p < 10e-12 || p > 500e-12 {
+		t.Errorf("period = %g, want 10-500 ps", p)
+	}
+	// Rail-to-rail swing.
+	v := res.V("n1")
+	minV, maxV := v[len(v)/2], v[len(v)/2]
+	for _, x := range v[len(v)/2:] {
+		if x < minV {
+			minV = x
+		}
+		if x > maxV {
+			maxV = x
+		}
+	}
+	if maxV < 0.9*device.Vdd || minV > 0.1*device.Vdd {
+		t.Errorf("swing [%g, %g] not rail-to-rail", minV, maxV)
+	}
+}
+
+// TestTransientWLRampWriteFlip tracks a write through the bistability fold
+// dynamically: a slow wordline ramp on a cell whose bitlines force a write
+// must flip the state exactly once, at a plausible trip voltage. (The fold
+// itself is a singular DC point — SPICE-class DC sweeps jump there too —
+// so the dynamic ramp is the well-posed version of this experiment.)
+func TestTransientWLRampWriteFlip(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	inverter(c, lib, device.LVT, "q", "qb", "VDD")
+	inverter(c, lib, device.LVT, "qb", "q", "VDD")
+	const ramp = 400e-12
+	c.AddV("vwl", "wl", Ground, NewPWL(PWLPoint{0, 0}, PWLPoint{ramp, device.Vdd}))
+	c.AddV("vbl", "bl", Ground, DC(0)) // writing 0 onto q
+	c.AddV("vblb", "blb", Ground, DC(device.Vdd))
+	c.AddFET(FET{Name: "maxl", Model: lib.NLVT, Fins: 1, D: "bl", G: "wl", S: "q"})
+	c.AddFET(FET{Name: "maxr", Model: lib.NLVT, Fins: 1, D: "blb", G: "wl", S: "qb"})
+	c.AddC("cq", "q", Ground, 0.2e-15)
+	c.AddC("cqb", "qb", Ground, 0.2e-15)
+	c.SetIC("q", device.Vdd)
+	c.SetIC("qb", 0)
+
+	res, err := c.Transient(TranOpts{TStop: ramp + 50e-12, DT: 0.5e-12, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q0 := res.V("q")[0]; q0 < 0.9*device.Vdd {
+		t.Fatalf("initial state lost: q=%g", q0)
+	}
+	if qEnd := res.Final("q"); qEnd > 0.1*device.Vdd {
+		t.Fatalf("write never completed: q=%g at WL=Vdd", qEnd)
+	}
+	// Exactly one falling crossing of Vdd/2, and the WL level at that
+	// moment must be a plausible trip voltage.
+	tFlip, err := res.CrossTime("q", device.Vdd/2, FallingEdge, 0)
+	if err != nil {
+		t.Fatal("no flip observed")
+	}
+	wlAtFlip := res.AtTime("wl", tFlip)
+	if wlAtFlip < 0.05 || wlAtFlip > device.Vdd {
+		t.Errorf("flip at WL=%g, implausible trip voltage", wlAtFlip)
+	}
+	if _, err := res.CrossTime("q", device.Vdd/2, RisingEdge, tFlip); err == nil {
+		t.Error("cell un-flipped after the write")
+	}
+}
+
+// TestGminFallback exercises the gmin-stepping path: a chain of
+// diode-connected HVT devices has an extremely high-impedance internal node
+// that plain Newton from a zero guess struggles with.
+func TestGminFallback(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	// Three diode-connected NFETs in series.
+	c.AddFET(FET{Name: "m1", Model: lib.NHVT, Fins: 1, D: "VDD", G: "VDD", S: "a"})
+	c.AddFET(FET{Name: "m2", Model: lib.NHVT, Fins: 1, D: "a", G: "a", S: "b"})
+	c.AddFET(FET{Name: "m3", Model: lib.NHVT, Fins: 1, D: "b", G: "b", S: Ground})
+	r, err := c.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, vb := r.V("a"), r.V("b")
+	if !(va > vb && vb > 0 && va < device.Vdd) {
+		t.Errorf("stack voltages not ordered: a=%g b=%g", va, vb)
+	}
+}

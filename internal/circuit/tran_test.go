@@ -1,0 +1,152 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"sramco/internal/device"
+)
+
+func TestRCChargeMatchesAnalytic(t *testing.T) {
+	// Series R-C driven by a step: v(t) = V(1 - e^{-t/RC}), RC = 1 ns.
+	c := New()
+	c.AddV("vin", "in", Ground, Step(0, 1, 0, 1e-12))
+	c.AddR("r", "in", "out", 1e3)
+	c.AddC("c", "out", Ground, 1e-12)
+	res, err := c.Transient(TranOpts{TStop: 5e-9, DT: 5e-12})
+	if err != nil {
+		t.Fatalf("Transient: %v", err)
+	}
+	rc := 1e-9
+	for _, tm := range []float64{0.5e-9, 1e-9, 2e-9, 4e-9} {
+		want := 1 - math.Exp(-tm/rc)
+		got := res.AtTime("out", tm)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("v(%g) = %g, want %g (±0.01, backward Euler)", tm, got, want)
+		}
+	}
+}
+
+func TestRCCrossTime(t *testing.T) {
+	c := New()
+	c.AddV("vin", "in", Ground, Step(0, 1, 0, 1e-12))
+	c.AddR("r", "in", "out", 1e3)
+	c.AddC("c", "out", Ground, 1e-12)
+	res, err := c.Transient(TranOpts{TStop: 5e-9, DT: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50% crossing of an RC charge happens at t = RC·ln2 ≈ 0.693 ns.
+	tc, err := res.CrossTime("out", 0.5, RisingEdge, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tc-0.693e-9) > 0.02e-9 {
+		t.Fatalf("50%% crossing at %g, want ≈0.693 ns", tc)
+	}
+	// A falling-edge search must fail on a monotone rising node.
+	if _, err := res.CrossTime("out", 0.5, FallingEdge, 0); err == nil {
+		t.Fatal("expected no falling crossing")
+	}
+}
+
+func TestCapacitorHoldsICWithUIC(t *testing.T) {
+	c := New()
+	c.AddC("c", "mem", Ground, 1e-15)
+	c.AddR("r", "mem", Ground, 1e12) // slow leak, tau = 1 s
+	c.SetIC("mem", 0.45)
+	res, err := c.Transient(TranOpts{TStop: 1e-9, DT: 1e-11, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Final("mem"); math.Abs(got-0.45) > 1e-3 {
+		t.Fatalf("held voltage = %g, want ≈0.45", got)
+	}
+}
+
+func TestInverterTransientSwitch(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "in", Ground, Step(0, device.Vdd, 10e-12, 2e-12))
+	inverter(c, lib, device.LVT, "in", "out", "VDD")
+	c.AddC("cl", "out", Ground, 1e-15)
+	res, err := c.Transient(TranOpts{TStop: 200e-12, DT: 0.5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 := res.V("out")[0]; v0 < 0.9*device.Vdd {
+		t.Fatalf("initial out = %g, want ≈Vdd", v0)
+	}
+	tc, err := res.CrossTime("out", device.Vdd/2, FallingEdge, 10e-12)
+	if err != nil {
+		t.Fatalf("no output transition: %v", err)
+	}
+	if tc <= 10e-12 || tc > 100e-12 {
+		t.Fatalf("output fell at %g, expected shortly after the input step", tc)
+	}
+	if f := res.Final("out"); f > 0.05*device.Vdd {
+		t.Fatalf("final out = %g, want ≈0", f)
+	}
+}
+
+func TestSRAMCellTransientWrite(t *testing.T) {
+	// A full 6T cell: writing a '1' onto a cell holding '0' must flip it.
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	inverter(c, lib, device.LVT, "q", "qb", "VDD")
+	inverter(c, lib, device.LVT, "qb", "q", "VDD")
+	c.AddV("vwl", "wl", Ground, Step(0, device.Vdd, 5e-12, 2e-12))
+	c.AddV("vbl", "bl", Ground, DC(device.Vdd)) // write '1'
+	c.AddV("vblb", "blb", Ground, DC(0))
+	c.AddFET(FET{Name: "maxl", Model: lib.NLVT, Fins: 1, D: "bl", G: "wl", S: "q"})
+	c.AddFET(FET{Name: "maxr", Model: lib.NLVT, Fins: 1, D: "blb", G: "wl", S: "qb"})
+	c.AddC("cq", "q", Ground, 0.2e-15)
+	c.AddC("cqb", "qb", Ground, 0.2e-15)
+	c.SetIC("q", 0)
+	c.SetIC("qb", device.Vdd)
+	res, err := c.Transient(TranOpts{TStop: 100e-12, DT: 0.25e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := res.Final("q"); q < 0.8*device.Vdd {
+		t.Fatalf("write failed: final q = %g", q)
+	}
+	if qb := res.Final("qb"); qb > 0.2*device.Vdd {
+		t.Fatalf("write failed: final qb = %g", qb)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := New()
+	c.AddV("v", "a", Ground, DC(1))
+	c.AddR("r", "a", Ground, 1e3)
+	if _, err := c.Transient(TranOpts{TStop: 0, DT: 1e-12}); err == nil {
+		t.Fatal("expected error for TStop=0")
+	}
+	if _, err := c.Transient(TranOpts{TStop: 1e-9, DT: 0}); err == nil {
+		t.Fatal("expected error for DT=0")
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	w := NewPWL(PWLPoint{0, 0}, PWLPoint{1, 1}, PWLPoint{2, 1}, PWLPoint{3, 0})
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1}, {2.5, 0.5}, {3, 0}, {9, 0},
+	}
+	for _, c := range cases {
+		if got := w.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PWL.At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted PWL")
+		}
+	}()
+	NewPWL(PWLPoint{1, 0}, PWLPoint{0, 1})
+}

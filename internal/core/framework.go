@@ -1,0 +1,288 @@
+// Package core implements the paper's contribution: the device-circuit-
+// architecture co-optimization framework. Given an array capacity and a cell
+// flavor, it pins the Vdd-boost and wordline-overdrive rails at the minimum
+// levels that satisfy the yield constraint min(HSNM, RSNM, WM) ≥ δ, then
+// exhaustively searches the remaining variables — negative-Gnd level V_SSC,
+// row count n_r, precharger fins N_pre and write-buffer fins N_wr — for the
+// design minimizing the energy-delay product (§4-§5).
+//
+// Two calibration modes are supported (DESIGN.md §2): TechPaper anchors
+// cell-level quantities to the paper's published values for apples-to-apples
+// reproduction of Table 4 / Fig. 7, while TechSimulated re-derives every
+// quantity by running the bundled circuit simulator — the paper's own
+// methodology executed end to end.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sramco/internal/array"
+	"sramco/internal/cell"
+	"sramco/internal/device"
+	"sramco/internal/lut"
+	"sramco/internal/num"
+	"sramco/internal/periph"
+	"sramco/internal/wire"
+)
+
+// Mode selects how cell-level anchor quantities are obtained.
+type Mode int
+
+const (
+	// TechPaper pins VDDC*, VWL*, cell leakage and the HVT read-current law
+	// to the values published in the paper (§5), simulating only what the
+	// paper does not publish (the write-delay LUT and the LVT current law's
+	// threshold).
+	TechPaper Mode = iota
+	// TechSimulated derives every anchor by circuit simulation of the
+	// compact device models: minimum-yield rail search, leakage operating
+	// points, and read-current / write-delay LUT characterization.
+	TechSimulated
+)
+
+func (m Mode) String() string {
+	if m == TechSimulated {
+		return "simulated"
+	}
+	return "paper-calibrated"
+}
+
+// Paper-published anchors (§5, Table 4).
+const (
+	paperVDDCStarLVT = 0.640
+	paperVDDCStarHVT = 0.550
+	paperVWLStarLVT  = 0.490
+	paperVWLStarHVT  = 0.540
+	paperLeakLVT     = 1.692e-9
+	paperLeakHVT     = 0.082e-9
+	paperIReadA      = 1.3    // HVT read-current exponent
+	paperIReadB      = 9.5e-5 // HVT read-current coefficient (A/V^1.3)
+	paperIReadVt     = 0.335  // HVT read-current threshold (V)
+)
+
+// Default workload and constraint constants (§5).
+const (
+	DefaultVdd     = device.Vdd
+	DefaultDeltaVS = 0.120
+	DefaultAlpha   = 0.5
+	DefaultBeta    = 0.5
+	DefaultW       = 64
+	DefaultDCDC    = 1.25
+)
+
+// DefaultDelta returns the minimum acceptable noise margin δ = 0.35·Vdd.
+func DefaultDelta(vdd float64) float64 { return 0.35 * vdd }
+
+// CellChar holds the characterized (or paper-anchored) cell quantities for
+// one flavor.
+type CellChar struct {
+	Flavor device.Flavor
+
+	VDDCStar float64 // minimum VDDC meeting the RSNM yield requirement
+	VWLStar  float64 // minimum write VWL meeting the WM yield requirement
+
+	HSNM float64 // hold SNM at nominal Vdd
+	Leak float64 // standby leakage power per cell (W)
+
+	// IRead(vddc, vssc) in amperes.
+	IRead func(vddc, vssc float64) float64
+	// WriteDelay(vwl) in seconds.
+	WriteDelay func(vwl float64) float64
+	// WriteEnergy is the cell-internal energy of one write (J).
+	WriteEnergy float64
+
+	// RSNMAt reports the read SNM at (VDDCStar, vssc); used for the
+	// feasibility constraint across the VSSC sweep.
+	RSNMAt func(vssc float64) float64
+}
+
+// Framework is a fully characterized co-optimization context.
+type Framework struct {
+	Mode    Mode
+	Vdd     float64
+	DeltaVS float64
+	Delta   float64 // minimum acceptable margin δ
+
+	Periph *periph.Tech
+	Caps   wire.DeviceCaps
+	Cells  map[device.Flavor]*CellChar
+
+	DCDC       float64
+	Accounting array.EnergyAccounting
+}
+
+// FrameworkOpts tunes framework construction; zero values select the
+// paper's defaults.
+type FrameworkOpts struct {
+	Vdd        float64
+	DeltaVS    float64
+	Delta      float64
+	DCDC       float64
+	Accounting array.EnergyAccounting
+}
+
+// NewFramework characterizes the technology and both cell flavors under the
+// given mode. Construction runs circuit simulations and takes a few seconds
+// in TechSimulated mode.
+func NewFramework(mode Mode, opts FrameworkOpts) (*Framework, error) {
+	lib := device.Default7nm()
+	vdd := opts.Vdd
+	if vdd == 0 {
+		vdd = DefaultVdd
+	}
+	dvs := opts.DeltaVS
+	if dvs == 0 {
+		dvs = DefaultDeltaVS
+	}
+	delta := opts.Delta
+	if delta == 0 {
+		delta = DefaultDelta(vdd)
+	}
+	dcdc := opts.DCDC
+	if dcdc == 0 {
+		dcdc = DefaultDCDC
+	}
+	p, err := periph.Characterize(lib, periph.CharacterizeOpts{Vdd: vdd, DeltaV: dvs})
+	if err != nil {
+		return nil, fmt.Errorf("core: peripheral characterization: %w", err)
+	}
+	f := &Framework{
+		Mode:    mode,
+		Vdd:     vdd,
+		DeltaVS: dvs,
+		Delta:   delta,
+		Periph:  p,
+		Caps: wire.DeviceCaps{
+			Cdn: lib.NLVT.CdFin, Cdp: lib.PLVT.CdFin,
+			Cgn: lib.NLVT.CgFin, Cgp: lib.PLVT.CgFin,
+		},
+		Cells:      make(map[device.Flavor]*CellChar, 2),
+		DCDC:       dcdc,
+		Accounting: opts.Accounting,
+	}
+	for _, flavor := range []device.Flavor{device.LVT, device.HVT} {
+		cc, err := f.characterizeCell(lib, flavor)
+		if err != nil {
+			return nil, fmt.Errorf("core: characterizing 6T-%v: %w", flavor, err)
+		}
+		f.Cells[flavor] = cc
+	}
+	return f, nil
+}
+
+// characterizeCell builds the CellChar for one flavor under the framework's
+// mode.
+func (f *Framework) characterizeCell(lib *device.Library, flavor device.Flavor) (*CellChar, error) {
+	c := &cell.Cell{Lib: lib, Flavor: flavor}
+	cc := &CellChar{Flavor: flavor}
+
+	hsnm, err := c.HoldSNM(f.Vdd)
+	if err != nil {
+		return nil, err
+	}
+	cc.HSNM = hsnm
+
+	// Cell write delay LUT (simulated in both modes; the paper publishes
+	// only the single 1.5 ps no-assist number).
+	wdGrid := num.Linspace(f.Vdd, f.Vdd+0.25, 6)
+	wdTab, err := lut.Build1D(fmt.Sprintf("writeDelay-%v", flavor), wdGrid, func(vwl float64) (float64, error) {
+		b := cell.NominalWrite(f.Vdd)
+		b.VWL = vwl
+		return c.WriteDelay(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cc.WriteDelay = wdTab.Eval
+	cc.WriteEnergy = 2 * c.StorageNodeCap() * f.Vdd * f.Vdd
+
+	switch f.Mode {
+	case TechPaper:
+		if flavor == device.LVT {
+			cc.VDDCStar, cc.VWLStar, cc.Leak = paperVDDCStarLVT, paperVWLStarLVT, paperLeakLVT
+			// The paper publishes no LVT current law; use the paper's
+			// functional form with the calibrated LVT threshold, scaled to
+			// the library's 2× ION relation at the nominal read condition.
+			vtL := lib.NLVT.Vt0
+			iHVTnom := paperIReadB * math.Pow(f.Vdd-paperIReadVt, paperIReadA)
+			bL := 2 * iHVTnom / math.Pow(f.Vdd-vtL, paperIReadA)
+			cc.IRead = func(vddc, vssc float64) float64 {
+				return bL * math.Pow(math.Max(vddc-vssc-vtL, 1e-6), paperIReadA)
+			}
+		} else {
+			cc.VDDCStar, cc.VWLStar, cc.Leak = paperVDDCStarHVT, paperVWLStarHVT, paperLeakHVT
+			cc.IRead = func(vddc, vssc float64) float64 {
+				return paperIReadB * math.Pow(math.Max(vddc-vssc-paperIReadVt, 1e-6), paperIReadA)
+			}
+		}
+		// The paper establishes feasibility of the full VSSC range at the
+		// starred rails (Fig. 3(b)-(c)); the margin is δ by construction at
+		// VSSC = 0 and does not degrade above -240 mV.
+		cc.RSNMAt = func(vssc float64) float64 { return f.Delta }
+
+	case TechSimulated:
+		leak, err := c.LeakagePower(f.Vdd)
+		if err != nil {
+			return nil, err
+		}
+		cc.Leak = leak
+		vddcStar, err := c.MinVDDCForReadSNM(cell.NominalRead(f.Vdd), f.Delta, f.Vdd+0.30)
+		if err != nil {
+			return nil, err
+		}
+		cc.VDDCStar = vddcStar
+		vwlStar, err := c.MinVWLForWriteMargin(cell.NominalWrite(f.Vdd), f.Delta, f.Vdd+0.30)
+		if err != nil {
+			return nil, err
+		}
+		cc.VWLStar = vwlStar
+
+		iTab, err := lut.Build2D(fmt.Sprintf("iread-%v", flavor),
+			num.Linspace(f.Vdd, f.Vdd+0.25, 6),
+			num.Linspace(-0.26, 0, 7),
+			func(vddc, vssc float64) (float64, error) {
+				b := cell.ReadBias{Vdd: f.Vdd, VDDC: vddc, VSSC: vssc, VWL: f.Vdd}
+				return c.ReadCurrent(b)
+			})
+		if err != nil {
+			return nil, err
+		}
+		cc.IRead = iTab.Eval
+
+		rsnmTab, err := lut.Build1D(fmt.Sprintf("rsnm-%v", flavor),
+			[]float64{-0.26, -0.13, 0},
+			func(vssc float64) (float64, error) {
+				b := cell.ReadBias{Vdd: f.Vdd, VDDC: cc.VDDCStar, VSSC: vssc, VWL: f.Vdd}
+				return c.ReadSNM(b)
+			})
+		if err != nil {
+			return nil, err
+		}
+		cc.RSNMAt = rsnmTab.Eval
+
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", f.Mode)
+	}
+	return cc, nil
+}
+
+// ArrayTech assembles the array-model technology view for one flavor.
+func (f *Framework) ArrayTech(flavor device.Flavor) (*array.Tech, error) {
+	cc, ok := f.Cells[flavor]
+	if !ok {
+		return nil, fmt.Errorf("core: flavor %v not characterized", flavor)
+	}
+	return &array.Tech{
+		Periph:          f.Periph,
+		Caps:            f.Caps,
+		Vdd:             f.Vdd,
+		DeltaVS:         f.DeltaVS,
+		LeakCell:        cc.Leak,
+		IRead:           cc.IRead,
+		WriteDelayCell:  cc.WriteDelay,
+		WriteEnergyCell: cc.WriteEnergy,
+		DCDCFactor:      f.DCDC,
+		Accounting:      f.Accounting,
+	}, nil
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"sramco/internal/array"
+	"sramco/internal/device"
+	"sramco/internal/wire"
+)
+
+// Method selects the rail-count restriction of §5.
+type Method int
+
+const (
+	// M1 allows only one extra voltage level besides Vdd: a single high rail
+	// at max(VDDC*, VWL*) shared by the cell supply boost and the wordline
+	// overdrive; no negative Gnd.
+	M1 Method = iota
+	// M2 places no restriction on rail count: VDDC*, VWL* and a swept
+	// negative VSSC are all available.
+	M2
+)
+
+func (m Method) String() string {
+	if m == M2 {
+		return "M2"
+	}
+	return "M1"
+}
+
+// SearchSpace bounds the exhaustive search (§5 defaults).
+type SearchSpace struct {
+	VSSCMin  float64 // most negative VSSC (default -0.240)
+	VSSCStep float64 // sweep step (default 0.010)
+	NRMax    int     // max rows (default 1024)
+	NCMax    int     // max columns (default 1024, the rail-driver sizing limit)
+	NpreMax  int     // max precharger fins (default 50)
+	NwrMax   int     // max write-buffer fins (default 20)
+}
+
+// DefaultSpace returns the paper's §5 variable ranges.
+func DefaultSpace() SearchSpace {
+	return SearchSpace{VSSCMin: -0.240, VSSCStep: 0.010, NRMax: 1024, NCMax: 1024, NpreMax: 50, NwrMax: 20}
+}
+
+// Objective maps an evaluated design to the scalar being minimized.
+type Objective func(*array.Result) float64
+
+// Built-in objectives.
+var (
+	ObjectiveEDP    Objective = func(r *array.Result) float64 { return r.EDP }
+	ObjectiveDelay  Objective = func(r *array.Result) float64 { return r.DArray }
+	ObjectiveEnergy Objective = func(r *array.Result) float64 { return r.EArray }
+)
+
+// Options configures one optimization run.
+type Options struct {
+	CapacityBits int
+	Flavor       device.Flavor
+	Method       Method
+
+	Activity  array.Activity // zero value selects α = β = 0.5
+	W         int            // access width in bits; 0 selects 64
+	Space     SearchSpace    // zero value selects DefaultSpace
+	Objective Objective      // nil selects EDP
+
+	// SearchWLSegs additionally searches divided-wordline segmentation
+	// (1/2/4/8 segments) — an architecture extension beyond the paper's
+	// flat wordline. Most effective under the AllColumns energy
+	// accounting, where segmentation cuts the per-access bitline disturb.
+	SearchWLSegs bool
+}
+
+func (o *Options) normalize() error {
+	if o.CapacityBits < 4 {
+		return fmt.Errorf("core: capacity %d bits too small", o.CapacityBits)
+	}
+	if o.CapacityBits&(o.CapacityBits-1) != 0 {
+		return fmt.Errorf("core: capacity %d bits must be a power of two", o.CapacityBits)
+	}
+	if o.Activity == (array.Activity{}) {
+		o.Activity = array.Activity{Alpha: DefaultAlpha, Beta: DefaultBeta}
+	}
+	if o.W == 0 {
+		o.W = DefaultW
+	}
+	if o.Space == (SearchSpace{}) {
+		o.Space = DefaultSpace()
+	}
+	if o.Objective == nil {
+		o.Objective = ObjectiveEDP
+	}
+	return nil
+}
+
+// DesignPoint pairs a design with its evaluation.
+type DesignPoint struct {
+	Design array.Design
+	Result *array.Result
+}
+
+// Optimum is the outcome of a search.
+type Optimum struct {
+	Best      DesignPoint
+	Evaluated int // model evaluations performed
+	Skipped   int // candidate points rejected by constraints
+}
+
+// Rails returns the rail voltages (VDDC, VWL) the method assigns before the
+// remaining variables are searched (§5: VDDC and VWL are set to the minimum
+// levels meeting yield; M1 merges them into one shared high rail).
+func (f *Framework) Rails(flavor device.Flavor, m Method) (vddc, vwl float64, err error) {
+	cc, ok := f.Cells[flavor]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: flavor %v not characterized", flavor)
+	}
+	switch m {
+	case M1:
+		hi := math.Max(cc.VDDCStar, cc.VWLStar)
+		return hi, hi, nil
+	case M2:
+		return cc.VDDCStar, cc.VWLStar, nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown method %d", m)
+	}
+}
+
+// Optimize exhaustively searches (V_SSC, n_r, N_pre, N_wr) for the design
+// minimizing the objective under the yield constraint, with VDDC/VWL pinned
+// by the method. The search parallelizes across row-count candidates.
+func (f *Framework) Optimize(opts Options) (*Optimum, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	tech, err := f.ArrayTech(opts.Flavor)
+	if err != nil {
+		return nil, err
+	}
+	cc := f.Cells[opts.Flavor]
+	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
+	if err != nil {
+		return nil, err
+	}
+	// Yield feasibility that does not depend on the searched variables:
+	// HSNM at nominal and WM at VWL* are met by construction of the starred
+	// rails; HSNM is checked here.
+	if cc.HSNM < f.Delta {
+		return nil, fmt.Errorf("core: 6T-%v HSNM %.3f below δ=%.3f at Vdd=%.3f", opts.Flavor, cc.HSNM, f.Delta, f.Vdd)
+	}
+
+	// VSSC candidates.
+	var vsscs []float64
+	if opts.Method == M1 {
+		vsscs = []float64{0}
+	} else {
+		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
+			vsscs = append(vsscs, v)
+		}
+	}
+
+	// Row-count candidates: powers of two with integral n_c within bounds.
+	type rowCand struct{ nr, nc int }
+	var rows []rowCand
+	for nr := 2; nr <= opts.Space.NRMax; nr *= 2 {
+		if opts.CapacityBits%nr != 0 {
+			continue
+		}
+		nc := opts.CapacityBits / nr
+		if nc < 1 || nc > opts.Space.NCMax {
+			continue
+		}
+		rows = append(rows, rowCand{nr, nc})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no feasible organization for %d bits within the search space", opts.CapacityBits)
+	}
+
+	type work struct{ rc rowCand }
+	jobs := make(chan work, len(rows))
+	for _, rc := range rows {
+		jobs <- work{rc}
+	}
+	close(jobs)
+
+	var (
+		mu   sync.Mutex
+		best *DesignPoint
+		obj  = math.Inf(1)
+		eval int
+		skip int
+	)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localBest, localObj := (*DesignPoint)(nil), math.Inf(1)
+			localEval, localSkip := 0, 0
+			for job := range jobs {
+				nr, nc := job.rc.nr, job.rc.nc
+				width := opts.W
+				if nc < width {
+					width = nc // narrow arrays access one full row (Table 4's 128 B case)
+				}
+				segsCands := []int{1}
+				if opts.SearchWLSegs {
+					for s := 2; s <= 8 && nc/s >= width; s *= 2 {
+						segsCands = append(segsCands, s)
+					}
+				}
+				for _, vssc := range vsscs {
+					// Read-stability feasibility across the VSSC sweep.
+					if cc.RSNMAt(vssc) < f.Delta-1e-9 {
+						localSkip += opts.Space.NpreMax * opts.Space.NwrMax * len(segsCands)
+						continue
+					}
+					for _, segs := range segsCands {
+						for npre := 1; npre <= opts.Space.NpreMax; npre++ {
+							for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
+								d := array.Design{
+									Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs},
+									VDDC: vddc, VSSC: vssc, VWL: vwl,
+								}
+								if d.Geom.Validate() != nil {
+									localSkip++
+									continue
+								}
+								r, err := array.Evaluate(tech, d, opts.Activity)
+								if err != nil {
+									errs <- err
+									return
+								}
+								localEval++
+								if !r.RailsSettleInTime {
+									localSkip++
+									continue
+								}
+								if v := opts.Objective(r); v < localObj {
+									localObj = v
+									localBest = &DesignPoint{Design: d, Result: r}
+								}
+							}
+						}
+					}
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			eval += localEval
+			skip += localSkip
+			if localBest != nil && localObj < obj {
+				obj = localObj
+				best = localBest
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no feasible design for %d bits (all %d candidates rejected)", opts.CapacityBits, skip)
+	}
+	return &Optimum{Best: *best, Evaluated: eval, Skipped: skip}, nil
+}
+
+// GreedyOptimize is the coordinate-descent ablation searcher: starting from
+// a balanced square-ish organization with minimum fins and no negative Gnd,
+// it repeatedly sweeps one variable at a time (n_r, V_SSC, N_pre, N_wr)
+// keeping the others fixed, until no single-variable move improves the
+// objective. It typically needs orders of magnitude fewer evaluations than
+// the exhaustive search but may land in a local minimum.
+func (f *Framework) GreedyOptimize(opts Options) (*Optimum, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	tech, err := f.ArrayTech(opts.Flavor)
+	if err != nil {
+		return nil, err
+	}
+	cc := f.Cells[opts.Flavor]
+	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	evalCount, skip := 0, 0
+	evalAt := func(nr, vssc float64, npre, nwr int) (*array.Result, bool) {
+		nrI := int(nr)
+		if nrI < 2 || nrI > opts.Space.NRMax || opts.CapacityBits%nrI != 0 {
+			return nil, false
+		}
+		nc := opts.CapacityBits / nrI
+		if nc < 1 || nc > opts.Space.NCMax {
+			return nil, false
+		}
+		width := opts.W
+		if nc < width {
+			width = nc
+		}
+		if cc.RSNMAt(vssc) < f.Delta-1e-9 {
+			skip++
+			return nil, false
+		}
+		d := array.Design{
+			Geom: wire.Geometry{NR: nrI, NC: nc, W: width, Npre: npre, Nwr: nwr},
+			VDDC: vddc, VSSC: vssc, VWL: vwl,
+		}
+		if d.Geom.Validate() != nil {
+			return nil, false
+		}
+		r, err2 := array.Evaluate(tech, d, opts.Activity)
+		if err2 != nil {
+			return nil, false
+		}
+		evalCount++
+		if !r.RailsSettleInTime {
+			skip++
+			return nil, false
+		}
+		return r, true
+	}
+
+	// Start: square-ish organization, no assists beyond the pinned rails.
+	nr := 2
+	for nr*nr < opts.CapacityBits && nr < opts.Space.NRMax {
+		nr *= 2
+	}
+	vssc, npre, nwr := 0.0, 1, 1
+	var bestR *array.Result
+	var bestD array.Design
+	bestObj := math.Inf(1)
+	improve := func(r *array.Result, nrI int, vs float64, np, nw int) bool {
+		if r == nil {
+			return false
+		}
+		if v := opts.Objective(r); v < bestObj {
+			bestObj = v
+			bestR = r
+			bestD = r.Design
+			nr, vssc, npre, nwr = nrI, vs, np, nw
+			return true
+		}
+		return false
+	}
+	if r, ok := evalAt(float64(nr), vssc, npre, nwr); ok {
+		improve(r, nr, vssc, npre, nwr)
+	}
+	for pass := 0; pass < 20; pass++ {
+		changed := false
+		for cand := 2; cand <= opts.Space.NRMax; cand *= 2 {
+			if r, ok := evalAt(float64(cand), vssc, npre, nwr); ok {
+				changed = improve(r, cand, vssc, npre, nwr) || changed
+			}
+		}
+		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
+			if opts.Method == M1 && v != 0 {
+				break
+			}
+			if r, ok := evalAt(float64(nr), v, npre, nwr); ok {
+				changed = improve(r, nr, v, npre, nwr) || changed
+			}
+		}
+		for np := 1; np <= opts.Space.NpreMax; np++ {
+			if r, ok := evalAt(float64(nr), vssc, np, nwr); ok {
+				changed = improve(r, nr, vssc, np, nwr) || changed
+			}
+		}
+		for nw := 1; nw <= opts.Space.NwrMax; nw++ {
+			if r, ok := evalAt(float64(nr), vssc, npre, nw); ok {
+				changed = improve(r, nr, vssc, npre, nw) || changed
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if bestR == nil {
+		return nil, fmt.Errorf("core: greedy search found no feasible design for %d bits", opts.CapacityBits)
+	}
+	return &Optimum{Best: DesignPoint{Design: bestD, Result: bestR}, Evaluated: evalCount, Skipped: skip}, nil
+}

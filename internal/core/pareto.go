@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sramco/internal/array"
+	"sramco/internal/wire"
+)
+
+// ParetoFront exhaustively enumerates the same search space as Optimize but
+// returns the full energy-delay Pareto frontier instead of the single
+// minimum-EDP point: every feasible design for which no other feasible
+// design is both faster and lower-energy. Points are returned sorted by
+// increasing delay (hence decreasing energy).
+//
+// The frontier exposes the trade-off the EDP scalarization hides — e.g. how
+// much energy a delay-critical cache bank must pay to match LVT speed.
+func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	tech, err := f.ArrayTech(opts.Flavor)
+	if err != nil {
+		return nil, err
+	}
+	cc := f.Cells[opts.Flavor]
+	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	var vsscs []float64
+	if opts.Method == M1 {
+		vsscs = []float64{0}
+	} else {
+		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
+			vsscs = append(vsscs, v)
+		}
+	}
+	type rowCand struct{ nr, nc int }
+	var rows []rowCand
+	for nr := 2; nr <= opts.Space.NRMax; nr *= 2 {
+		if opts.CapacityBits%nr != 0 {
+			continue
+		}
+		nc := opts.CapacityBits / nr
+		if nc >= 1 && nc <= opts.Space.NCMax {
+			rows = append(rows, rowCand{nr, nc})
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no feasible organization for %d bits", opts.CapacityBits)
+	}
+
+	jobs := make(chan rowCand, len(rows))
+	for _, rc := range rows {
+		jobs <- rc
+	}
+	close(jobs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	fronts := make([][]DesignPoint, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []DesignPoint
+			for rc := range jobs {
+				width := opts.W
+				if rc.nc < width {
+					width = rc.nc
+				}
+				for _, vssc := range vsscs {
+					if cc.RSNMAt(vssc) < f.Delta-1e-9 {
+						continue
+					}
+					for npre := 1; npre <= opts.Space.NpreMax; npre++ {
+						for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
+							d := array.Design{
+								Geom: wire.Geometry{NR: rc.nr, NC: rc.nc, W: width, Npre: npre, Nwr: nwr},
+								VDDC: vddc, VSSC: vssc, VWL: vwl,
+							}
+							if d.Geom.Validate() != nil {
+								continue
+							}
+							r, err := array.Evaluate(tech, d, opts.Activity)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							if !r.RailsSettleInTime {
+								continue
+							}
+							local = insertPareto(local, DesignPoint{Design: d, Result: r})
+						}
+					}
+				}
+			}
+			fronts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	var merged []DesignPoint
+	for _, fr := range fronts {
+		for _, p := range fr {
+			merged = insertPareto(merged, p)
+		}
+	}
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("core: empty Pareto front for %d bits", opts.CapacityBits)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		return merged[i].Result.DArray < merged[j].Result.DArray
+	})
+	return merged, nil
+}
+
+// insertPareto inserts p into a non-dominated set, dropping p if dominated
+// and evicting any points p dominates. Domination is on (DArray, EArray),
+// minimizing both.
+func insertPareto(front []DesignPoint, p DesignPoint) []DesignPoint {
+	pd, pe := p.Result.DArray, p.Result.EArray
+	keep := front[:0]
+	for _, q := range front {
+		qd, qe := q.Result.DArray, q.Result.EArray
+		if qd <= pd && qe <= pe {
+			// q dominates (or equals) p: keep the existing front unchanged.
+			return front
+		}
+		if !(pd <= qd && pe <= qe) {
+			keep = append(keep, q)
+		}
+	}
+	return append(keep, p)
+}
+
+// KneePoint returns the index of the frontier point closest (in normalized
+// log space) to the utopia point (min delay, min energy) — a useful default
+// pick when EDP is not the intended scalarization. It panics on an empty
+// frontier.
+func KneePoint(front []DesignPoint) int {
+	if len(front) == 0 {
+		panic("core: KneePoint of empty frontier")
+	}
+	minD, minE := math.Inf(1), math.Inf(1)
+	maxD, maxE := math.Inf(-1), math.Inf(-1)
+	for _, p := range front {
+		minD = math.Min(minD, p.Result.DArray)
+		minE = math.Min(minE, p.Result.EArray)
+		maxD = math.Max(maxD, p.Result.DArray)
+		maxE = math.Max(maxE, p.Result.EArray)
+	}
+	spanD, spanE := maxD-minD, maxE-minE
+	if spanD == 0 {
+		spanD = 1
+	}
+	if spanE == 0 {
+		spanE = 1
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, p := range front {
+		dd := (p.Result.DArray - minD) / spanD
+		de := (p.Result.EArray - minE) / spanE
+		if dist := dd*dd + de*de; dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sramco/internal/array"
+)
+
+// Sensitivity reports how the objective responds to a unit move of one
+// search variable away from a design point: the neighbor objectives
+// relative to the point's own. Values are NaN when the neighbor falls
+// outside the search space or is infeasible.
+//
+// At a true optimum every finite entry is ≥ 1 — SensitivityAt therefore
+// doubles as a local-optimality certificate for the exhaustive search, and
+// as a design-insight table ("which knob is the design most sensitive to").
+type Sensitivity struct {
+	Variable string  // "n_r", "V_SSC", "N_pre", "N_wr"
+	DownRel  float64 // objective(neighbor with smaller value) / objective(point)
+	UpRel    float64 // objective(neighbor with larger value) / objective(point)
+}
+
+// SensitivityAt evaluates the four search variables' neighbors around a
+// design point under the given options (objective, activity, space).
+func (f *Framework) SensitivityAt(opts Options, at DesignPoint) ([]Sensitivity, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	tech, err := f.ArrayTech(opts.Flavor)
+	if err != nil {
+		return nil, err
+	}
+	cc, ok := f.Cells[opts.Flavor]
+	if !ok {
+		return nil, fmt.Errorf("core: flavor %v not characterized", opts.Flavor)
+	}
+	base := opts.Objective(at.Result)
+	if base <= 0 {
+		return nil, fmt.Errorf("core: non-positive base objective %g", base)
+	}
+
+	eval := func(mutate func(*array.Design) bool) float64 {
+		d := at.Design
+		if !mutate(&d) {
+			return math.NaN()
+		}
+		// Re-derive the access width for the mutated column count.
+		w := opts.W
+		if d.Geom.NC < w {
+			w = d.Geom.NC
+		}
+		d.Geom.W = w
+		if d.Geom.Validate() != nil {
+			return math.NaN()
+		}
+		if cc.RSNMAt(d.VSSC) < f.Delta-1e-9 {
+			return math.NaN()
+		}
+		r, err := array.Evaluate(tech, d, opts.Activity)
+		if err != nil || !r.RailsSettleInTime {
+			return math.NaN()
+		}
+		return opts.Objective(r) / base
+	}
+
+	bits := at.Design.Geom.Bits()
+	out := []Sensitivity{
+		{
+			Variable: "n_r",
+			DownRel: eval(func(d *array.Design) bool {
+				if d.Geom.NR/2 < 2 {
+					return false
+				}
+				d.Geom.NR /= 2
+				d.Geom.NC = bits / d.Geom.NR
+				return d.Geom.NC <= opts.Space.NCMax
+			}),
+			UpRel: eval(func(d *array.Design) bool {
+				if d.Geom.NR*2 > opts.Space.NRMax {
+					return false
+				}
+				d.Geom.NR *= 2
+				if bits%d.Geom.NR != 0 {
+					return false
+				}
+				d.Geom.NC = bits / d.Geom.NR
+				return d.Geom.NC >= 1
+			}),
+		},
+		{
+			Variable: "V_SSC",
+			DownRel: eval(func(d *array.Design) bool {
+				if opts.Method == M1 {
+					return false // VSSC is not a free variable under M1
+				}
+				d.VSSC -= opts.Space.VSSCStep
+				return d.VSSC >= opts.Space.VSSCMin-1e-9
+			}),
+			UpRel: eval(func(d *array.Design) bool {
+				if opts.Method == M1 {
+					return false
+				}
+				d.VSSC += opts.Space.VSSCStep
+				return d.VSSC <= 1e-9
+			}),
+		},
+		{
+			Variable: "N_pre",
+			DownRel: eval(func(d *array.Design) bool {
+				d.Geom.Npre--
+				return d.Geom.Npre >= 1
+			}),
+			UpRel: eval(func(d *array.Design) bool {
+				d.Geom.Npre++
+				return d.Geom.Npre <= opts.Space.NpreMax
+			}),
+		},
+		{
+			Variable: "N_wr",
+			DownRel: eval(func(d *array.Design) bool {
+				d.Geom.Nwr--
+				return d.Geom.Nwr >= 1
+			}),
+			UpRel: eval(func(d *array.Design) bool {
+				d.Geom.Nwr++
+				return d.Geom.Nwr <= opts.Space.NwrMax
+			}),
+		},
+	}
+	return out, nil
+}

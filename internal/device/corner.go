@@ -1,0 +1,138 @@
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// Process corners. Single-fin SRAM transistors see both global (corner) and
+// local (Monte Carlo) variation; corners shift every device of a polarity
+// together, which is how foundry sign-off models them.
+type Corner int
+
+const (
+	TT Corner = iota // typical N / typical P
+	SS               // slow N / slow P
+	FF               // fast N / fast P
+	SF               // slow N / fast P (worst write)
+	FS               // fast N / slow P (worst read stability)
+)
+
+func (c Corner) String() string {
+	switch c {
+	case TT:
+		return "TT"
+	case SS:
+		return "SS"
+	case FF:
+		return "FF"
+	case SF:
+		return "SF"
+	case FS:
+		return "FS"
+	default:
+		return fmt.Sprintf("Corner(%d)", int(c))
+	}
+}
+
+// Corners returns all five corners, typical first.
+func Corners() []Corner { return []Corner{TT, SS, FF, SF, FS} }
+
+// CornerVtShift is the global threshold shift magnitude of a slow/fast
+// corner (V): a 3σ global-variation budget for single-fin 7 nm devices.
+const CornerVtShift = 0.030
+
+// shifts returns the (n, p) threshold shifts of a corner. Positive shifts
+// slow a device down for either polarity (the model applies the magnitude
+// with the correct sign internally).
+func (c Corner) shifts() (n, p float64) {
+	switch c {
+	case SS:
+		return CornerVtShift, CornerVtShift
+	case FF:
+		return -CornerVtShift, -CornerVtShift
+	case SF:
+		return CornerVtShift, -CornerVtShift
+	case FS:
+		return -CornerVtShift, CornerVtShift
+	default:
+		return 0, 0
+	}
+}
+
+// AtCorner returns a copy of the model with the corner's global threshold
+// shift applied. TT returns the receiver unchanged.
+func (m *Model) AtCorner(c Corner) *Model {
+	ns, ps := c.shifts()
+	shift := ns
+	if m.Polarity == PFET {
+		shift = ps
+	}
+	if shift == 0 {
+		return m
+	}
+	p := m.Params
+	p.Vt0 += shift
+	return &Model{Params: p}
+}
+
+// AtCorner returns a library with every model shifted to the corner.
+func (l *Library) AtCorner(c Corner) *Library {
+	if c == TT {
+		return l
+	}
+	return &Library{
+		NLVT: l.NLVT.AtCorner(c),
+		NHVT: l.NHVT.AtCorner(c),
+		PLVT: l.PLVT.AtCorner(c),
+		PHVT: l.PHVT.AtCorner(c),
+	}
+}
+
+// Temperature behavior. The base models are calibrated at Troom = 300 K;
+// AtTemperature rescales the thermal voltage, threshold and mobility with
+// standard coefficients. Near-threshold FinFETs operate close to the
+// zero-temperature-coefficient point: ION moves little with temperature
+// while IOFF rises exponentially.
+const (
+	Troom = 300.0 // K, calibration temperature
+
+	// tcVt is the threshold temperature coefficient (V/K, Vt falls as T
+	// rises).
+	tcVt = 0.0006
+	// mobilityExp is the phonon-scattering mobility exponent:
+	// µ(T) = µ(300)·(300/T)^mobilityExp.
+	mobilityExp = 1.3
+)
+
+// AtTemperature returns a copy of the model adjusted to temperature tK
+// (kelvin). It panics on non-positive temperatures.
+func (m *Model) AtTemperature(tK float64) *Model {
+	if tK <= 0 {
+		panic(fmt.Sprintf("device: non-physical temperature %g K", tK))
+	}
+	if tK == Troom {
+		return m
+	}
+	p := m.Params
+	p.Vt0 -= tcVt * (tK - Troom)
+	p.I0 *= math.Pow(Troom/tK, mobilityExp)
+	// The subthreshold slope scales with kT/q: fold the thermal-voltage
+	// ratio into the ideality factor so the shared PhiT constant stays
+	// valid.
+	p.N *= tK / Troom
+	return &Model{Params: p}
+}
+
+// AtTemperature returns a library with every model adjusted to tK.
+func (l *Library) AtTemperature(tK float64) *Library {
+	if tK == Troom {
+		return l
+	}
+	return &Library{
+		NLVT: l.NLVT.AtTemperature(tK),
+		NHVT: l.NHVT.AtTemperature(tK),
+		PLVT: l.PLVT.AtTemperature(tK),
+		PHVT: l.PHVT.AtTemperature(tK),
+	}
+}

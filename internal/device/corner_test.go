@@ -1,0 +1,118 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCornerShiftsStrength(t *testing.T) {
+	lib := Default7nm()
+	tt := lib.NHVT
+	ss := tt.AtCorner(SS)
+	ff := tt.AtCorner(FF)
+	if !(ss.ION() < tt.ION() && tt.ION() < ff.ION()) {
+		t.Errorf("ION ordering SS < TT < FF violated: %g %g %g", ss.ION(), tt.ION(), ff.ION())
+	}
+	if !(ss.IOFF() < tt.IOFF() && tt.IOFF() < ff.IOFF()) {
+		t.Errorf("IOFF ordering SS < TT < FF violated")
+	}
+}
+
+func TestSkewedCorners(t *testing.T) {
+	lib := Default7nm()
+	sf := lib.AtCorner(SF)
+	fs := lib.AtCorner(FS)
+	// SF: slow N, fast P.
+	if !(sf.NLVT.ION() < lib.NLVT.ION()) || !(sf.PLVT.ION() > lib.PLVT.ION()) {
+		t.Error("SF corner must slow NFETs and speed PFETs")
+	}
+	// FS: fast N, slow P.
+	if !(fs.NLVT.ION() > lib.NLVT.ION()) || !(fs.PLVT.ION() < lib.PLVT.ION()) {
+		t.Error("FS corner must speed NFETs and slow PFETs")
+	}
+}
+
+func TestTTCornerIdentity(t *testing.T) {
+	lib := Default7nm()
+	if lib.AtCorner(TT) != lib {
+		t.Error("TT corner must return the same library")
+	}
+	if lib.NLVT.AtCorner(TT) != lib.NLVT {
+		t.Error("TT corner must return the same model")
+	}
+}
+
+func TestCornerStringAndList(t *testing.T) {
+	want := map[Corner]string{TT: "TT", SS: "SS", FF: "FF", SF: "SF", FS: "FS"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("corner %d string %q", c, c.String())
+		}
+	}
+	if Corner(42).String() == "" {
+		t.Error("unknown corner string empty")
+	}
+	if len(Corners()) != 5 || Corners()[0] != TT {
+		t.Errorf("Corners() = %v", Corners())
+	}
+}
+
+func TestTemperatureLeakageGrowsExponentially(t *testing.T) {
+	m := Default7nm().NHVT
+	cold := m.AtTemperature(233) // -40 C
+	hot := m.AtTemperature(398)  // 125 C
+	if !(cold.IOFF() < m.IOFF() && m.IOFF() < hot.IOFF()) {
+		t.Fatalf("IOFF ordering with temperature violated: %g %g %g", cold.IOFF(), m.IOFF(), hot.IOFF())
+	}
+	// Subthreshold leakage should grow by well over an order of magnitude
+	// from -40 C to 125 C.
+	if ratio := hot.IOFF() / cold.IOFF(); ratio < 10 {
+		t.Errorf("IOFF(125C)/IOFF(-40C) = %.1f, want ≥10", ratio)
+	}
+}
+
+func TestTemperatureIONNearZTC(t *testing.T) {
+	// Near-threshold FinFETs sit close to the zero-temperature-coefficient
+	// point: ION must move much less than IOFF.
+	m := Default7nm().NLVT
+	hot := m.AtTemperature(398)
+	ionChange := math.Abs(hot.ION()-m.ION()) / m.ION()
+	ioffChange := math.Abs(hot.IOFF()-m.IOFF()) / m.IOFF()
+	if ionChange > 0.4 {
+		t.Errorf("ION changed %.0f%% over 98 K, want <40%% (near-ZTC)", ionChange*100)
+	}
+	if ioffChange < 2*ionChange {
+		t.Errorf("IOFF (%.0f%%) should move far more than ION (%.0f%%)", ioffChange*100, ionChange*100)
+	}
+}
+
+func TestTemperatureIdentityAndValidation(t *testing.T) {
+	m := Default7nm().NLVT
+	if m.AtTemperature(Troom) != m {
+		t.Error("Troom must return the same model")
+	}
+	lib := Default7nm()
+	if lib.AtTemperature(Troom) != lib {
+		t.Error("Troom must return the same library")
+	}
+	hot := lib.AtTemperature(350)
+	if hot == lib || hot.NLVT == lib.NLVT {
+		t.Error("non-room temperature must return adjusted copies")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive temperature must panic")
+		}
+	}()
+	m.AtTemperature(0)
+}
+
+func TestCornerDoesNotMutateOriginal(t *testing.T) {
+	lib := Default7nm()
+	vt := lib.NLVT.Vt0
+	_ = lib.AtCorner(SS)
+	_ = lib.AtTemperature(398)
+	if lib.NLVT.Vt0 != vt {
+		t.Error("corner/temperature derivation mutated the shared library")
+	}
+}

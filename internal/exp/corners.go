@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+
+	"sramco/internal/cell"
+	"sramco/internal/device"
+)
+
+// CornerRow is one process corner's cell characterization — an extension
+// experiment beyond the paper: sign-off of the chosen assist operating
+// point across global process variation.
+type CornerRow struct {
+	Corner device.Corner
+	RSNM   float64
+	WM     float64
+	IRead  float64
+	Leak   float64
+}
+
+// CornerAnalysis characterizes the cell at every process corner under the
+// given assist biases.
+func CornerAnalysis(flavor device.Flavor, read cell.ReadBias, write cell.WriteBias) ([]CornerRow, error) {
+	base := device.Default7nm()
+	rows := make([]CornerRow, 0, len(device.Corners()))
+	for _, corner := range device.Corners() {
+		c := &cell.Cell{Lib: base.AtCorner(corner), Flavor: flavor}
+		row := CornerRow{Corner: corner}
+		var err error
+		if row.RSNM, err = c.ReadSNM(read); err != nil {
+			return nil, fmt.Errorf("exp: corner %v RSNM: %w", corner, err)
+		}
+		if row.WM, err = c.WriteMargin(write); err != nil {
+			return nil, fmt.Errorf("exp: corner %v WM: %w", corner, err)
+		}
+		if row.IRead, err = c.ReadCurrent(read); err != nil {
+			return nil, fmt.Errorf("exp: corner %v I_read: %w", corner, err)
+		}
+		if row.Leak, err = c.LeakagePower(read.Vdd); err != nil {
+			return nil, fmt.Errorf("exp: corner %v leakage: %w", corner, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CornerTable renders a corner analysis.
+func CornerTable(title string, rows []CornerRow) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"corner", "RSNM (mV)", "WM (mV)", "I_read (µA)", "P_leak (nW)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Corner.String(), r.RSNM*1e3, r.WM*1e3, r.IRead*1e6, r.Leak*1e9)
+	}
+	return t
+}
+
+// TempRow is one temperature point of the environmental sweep (extension
+// experiment): cell leakage, read current and read stability vs temperature.
+type TempRow struct {
+	TempK float64
+	Leak  float64
+	IRead float64
+	RSNM  float64
+}
+
+// TemperatureSweep characterizes the cell across operating temperatures at
+// the given read bias.
+func TemperatureSweep(flavor device.Flavor, read cell.ReadBias, temps []float64) ([]TempRow, error) {
+	base := device.Default7nm()
+	rows := make([]TempRow, 0, len(temps))
+	for _, tk := range temps {
+		c := &cell.Cell{Lib: base.AtTemperature(tk), Flavor: flavor}
+		row := TempRow{TempK: tk}
+		var err error
+		if row.Leak, err = c.LeakagePower(read.Vdd); err != nil {
+			return nil, fmt.Errorf("exp: %gK leakage: %w", tk, err)
+		}
+		if row.IRead, err = c.ReadCurrent(read); err != nil {
+			return nil, fmt.Errorf("exp: %gK I_read: %w", tk, err)
+		}
+		if row.RSNM, err = c.ReadSNM(read); err != nil {
+			return nil, fmt.Errorf("exp: %gK RSNM: %w", tk, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TempTable renders a temperature sweep.
+func TempTable(title string, rows []TempRow) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"T (K)", "P_leak (nW)", "I_read (µA)", "RSNM (mV)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.TempK, r.Leak*1e9, r.IRead*1e6, r.RSNM*1e3)
+	}
+	return t
+}

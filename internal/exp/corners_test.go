@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"sramco/internal/cell"
+	"sramco/internal/device"
+)
+
+func TestCornerAnalysis(t *testing.T) {
+	read := cell.ReadBias{Vdd: device.Vdd, VDDC: 0.55, VSSC: -0.24, VWL: device.Vdd}
+	write := cell.WriteBias{Vdd: device.Vdd, VWL: 0.54, VBL: 0}
+	rows, err := CornerAnalysis(device.HVT, read, write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d corners", len(rows))
+	}
+	byCorner := map[device.Corner]CornerRow{}
+	for _, r := range rows {
+		byCorner[r.Corner] = r
+		if r.RSNM <= 0 || r.IRead <= 0 || r.Leak <= 0 {
+			t.Errorf("corner %v: non-positive characterization %+v", r.Corner, r)
+		}
+	}
+	// FF leaks more and reads faster than SS.
+	if !(byCorner[device.FF].Leak > byCorner[device.SS].Leak) {
+		t.Error("FF must leak more than SS")
+	}
+	if !(byCorner[device.FF].IRead > byCorner[device.SS].IRead) {
+		t.Error("FF must read faster than SS")
+	}
+	// The FS corner (fast N = strong access+PD with extra-strong access
+	// disturb, slow P = weak keeper) is the classic read-stability worst
+	// case: RSNM must not exceed the TT value.
+	if byCorner[device.FS].RSNM > byCorner[device.TT].RSNM {
+		t.Errorf("FS RSNM (%g) above TT (%g)", byCorner[device.FS].RSNM, byCorner[device.TT].RSNM)
+	}
+	// The SF corner (slow access, fast pull-up) is the write worst case.
+	if byCorner[device.SF].WM > byCorner[device.TT].WM {
+		t.Errorf("SF WM (%g) above TT (%g)", byCorner[device.SF].WM, byCorner[device.TT].WM)
+	}
+	tab := CornerTable("corners", rows)
+	if !strings.Contains(tab.ASCII(), "FS") {
+		t.Error("corner table missing FS row")
+	}
+}
+
+func TestTemperatureSweep(t *testing.T) {
+	read := cell.NominalRead(device.Vdd)
+	rows, err := TemperatureSweep(device.HVT, read, []float64{253, 300, 398})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Leakage rises strongly with temperature.
+	if !(rows[0].Leak < rows[1].Leak && rows[1].Leak < rows[2].Leak) {
+		t.Error("leakage must rise with temperature")
+	}
+	if ratio := rows[2].Leak / rows[0].Leak; ratio < 5 {
+		t.Errorf("leak(398K)/leak(253K) = %.1f, want ≥5", ratio)
+	}
+	tab := TempTable("temps", rows)
+	if !strings.Contains(tab.ASCII(), "398") {
+		t.Error("temp table missing hot row")
+	}
+}

@@ -1,0 +1,138 @@
+// Package lut provides characterization lookup tables. The paper's flow
+// measures cell and peripheral quantities with SPICE and stores anything
+// with a variable dependency in look-up tables consulted by the analytical
+// array model (§5); this package is that storage layer, filled by running
+// the bundled circuit simulator over sweep grids.
+package lut
+
+import (
+	"fmt"
+	"math"
+
+	"sramco/internal/num"
+)
+
+// Table1D is a characterized scalar function of one variable, interpolated
+// monotonically (PCHIP) between grid points and clamped outside the grid.
+type Table1D struct {
+	Name   string
+	xs, ys []float64
+	interp num.Interp1D
+}
+
+// Build1D fills a 1-D table by evaluating f on the grid xs (strictly
+// increasing). Any evaluation error aborts the build.
+func Build1D(name string, xs []float64, f func(x float64) (float64, error)) (*Table1D, error) {
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		y, err := f(x)
+		if err != nil {
+			return nil, fmt.Errorf("lut: %s at x=%g: %w", name, x, err)
+		}
+		ys[i] = y
+	}
+	return From1D(name, xs, ys)
+}
+
+// From1D wraps existing samples in a table.
+func From1D(name string, xs, ys []float64) (*Table1D, error) {
+	in, err := num.NewPCHIP(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("lut: %s: %w", name, err)
+	}
+	return &Table1D{
+		Name:   name,
+		xs:     append([]float64(nil), xs...),
+		ys:     append([]float64(nil), ys...),
+		interp: in,
+	}, nil
+}
+
+// Eval interpolates the table at x.
+func (t *Table1D) Eval(x float64) float64 { return t.interp.Eval(x) }
+
+// Domain returns the characterized range.
+func (t *Table1D) Domain() (lo, hi float64) { return t.interp.Domain() }
+
+// Grid returns copies of the underlying sample grid.
+func (t *Table1D) Grid() (xs, ys []float64) {
+	return append([]float64(nil), t.xs...), append([]float64(nil), t.ys...)
+}
+
+// Table2D is a characterized scalar function of two variables with bilinear
+// interpolation, clamped at the grid boundary.
+type Table2D struct {
+	Name   string
+	xs, ys []float64
+	zs     []float64 // row-major: zs[i*len(ys)+j] = f(xs[i], ys[j])
+}
+
+// Build2D fills a 2-D table by evaluating f over the grid xs × ys.
+func Build2D(name string, xs, ys []float64, f func(x, y float64) (float64, error)) (*Table2D, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return nil, fmt.Errorf("lut: %s: 2-D table needs ≥2 points per axis", name)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("lut: %s: x grid not strictly increasing", name)
+		}
+	}
+	for j := 1; j < len(ys); j++ {
+		if ys[j] <= ys[j-1] {
+			return nil, fmt.Errorf("lut: %s: y grid not strictly increasing", name)
+		}
+	}
+	zs := make([]float64, len(xs)*len(ys))
+	for i, x := range xs {
+		for j, y := range ys {
+			z, err := f(x, y)
+			if err != nil {
+				return nil, fmt.Errorf("lut: %s at (%g, %g): %w", name, x, y, err)
+			}
+			if math.IsNaN(z) || math.IsInf(z, 0) {
+				return nil, fmt.Errorf("lut: %s at (%g, %g): non-finite value %g", name, x, y, z)
+			}
+			zs[i*len(ys)+j] = z
+		}
+	}
+	return &Table2D{
+		Name: name,
+		xs:   append([]float64(nil), xs...),
+		ys:   append([]float64(nil), ys...),
+		zs:   zs,
+	}, nil
+}
+
+// Eval bilinearly interpolates the table at (x, y), clamping to the grid.
+func (t *Table2D) Eval(x, y float64) float64 {
+	i, fx := cellOf(t.xs, x)
+	j, fy := cellOf(t.ys, y)
+	n := len(t.ys)
+	z00 := t.zs[i*n+j]
+	z10 := t.zs[(i+1)*n+j]
+	z01 := t.zs[i*n+j+1]
+	z11 := t.zs[(i+1)*n+j+1]
+	return z00*(1-fx)*(1-fy) + z10*fx*(1-fy) + z01*(1-fx)*fy + z11*fx*fy
+}
+
+// cellOf locates the grid interval containing v and the clamped fractional
+// position within it.
+func cellOf(grid []float64, v float64) (int, float64) {
+	n := len(grid)
+	if v <= grid[0] {
+		return 0, 0
+	}
+	if v >= grid[n-1] {
+		return n - 2, 1
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if grid[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, (v - grid[lo]) / (grid[lo+1] - grid[lo])
+}

@@ -1,0 +1,126 @@
+package lut
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sramco/internal/num"
+)
+
+func TestBuild1DAndEval(t *testing.T) {
+	xs := num.Linspace(0, 1, 11)
+	tab, err := Build1D("square", xs, func(x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 0.35, 0.5, 0.99, 1} {
+		if got := tab.Eval(x); math.Abs(got-x*x) > 0.01 {
+			t.Errorf("Eval(%g) = %g, want ≈%g", x, got, x*x)
+		}
+	}
+	lo, hi := tab.Domain()
+	if lo != 0 || hi != 1 {
+		t.Errorf("Domain = (%g, %g)", lo, hi)
+	}
+	gx, gy := tab.Grid()
+	if len(gx) != 11 || len(gy) != 11 {
+		t.Errorf("Grid lengths %d, %d", len(gx), len(gy))
+	}
+}
+
+func TestBuild1DPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Build1D("bad", []float64{0, 1}, func(x float64) (float64, error) {
+		if x > 0.5 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestTable1DClampsOutsideGrid(t *testing.T) {
+	tab, err := Build1D("lin", []float64{0, 1}, func(x float64) (float64, error) { return 2 * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Eval(-5); got != 0 {
+		t.Errorf("left clamp = %g", got)
+	}
+	if got := tab.Eval(9); got != 2 {
+		t.Errorf("right clamp = %g", got)
+	}
+}
+
+func TestBuild2DAndEval(t *testing.T) {
+	xs := num.Linspace(0, 2, 5)
+	ys := num.Linspace(-1, 1, 5)
+	tab, err := Build2D("plane", xs, ys, func(x, y float64) (float64, error) { return 3*x - 2*y + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bilinear table reproduces an affine function exactly.
+	for _, x := range []float64{0, 0.3, 1.1, 2} {
+		for _, y := range []float64{-1, -0.2, 0.7, 1} {
+			want := 3*x - 2*y + 1
+			if got := tab.Eval(x, y); math.Abs(got-want) > 1e-12 {
+				t.Errorf("Eval(%g, %g) = %g, want %g", x, y, got, want)
+			}
+		}
+	}
+	// Clamping outside the grid.
+	if got := tab.Eval(99, 0); math.Abs(got-tab.Eval(2, 0)) > 1e-12 {
+		t.Errorf("x clamp: %g vs %g", got, tab.Eval(2, 0))
+	}
+	if got := tab.Eval(0, -99); math.Abs(got-tab.Eval(0, -1)) > 1e-12 {
+		t.Errorf("y clamp: %g vs %g", got, tab.Eval(0, -1))
+	}
+}
+
+func TestBuild2DValidation(t *testing.T) {
+	f := func(x, y float64) (float64, error) { return 0, nil }
+	if _, err := Build2D("t", []float64{0}, []float64{0, 1}, f); err == nil {
+		t.Error("single x point accepted")
+	}
+	if _, err := Build2D("t", []float64{0, 0}, []float64{0, 1}, f); err == nil {
+		t.Error("non-increasing x accepted")
+	}
+	if _, err := Build2D("t", []float64{0, 1}, []float64{1, 0}, f); err == nil {
+		t.Error("decreasing y accepted")
+	}
+	if _, err := Build2D("t", []float64{0, 1}, []float64{0, 1},
+		func(x, y float64) (float64, error) { return math.NaN(), nil }); err == nil {
+		t.Error("NaN value accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := Build2D("t", []float64{0, 1}, []float64{0, 1},
+		func(x, y float64) (float64, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Error("eval error not propagated")
+	}
+}
+
+// TestTable2DWithinHull: bilinear interpolation never leaves the convex
+// hull of the corner samples of each grid cell.
+func TestTable2DWithinHull(t *testing.T) {
+	xs := num.Linspace(0, 1, 4)
+	ys := num.Linspace(0, 1, 4)
+	tab, err := Build2D("rand", xs, ys, func(x, y float64) (float64, error) {
+		return math.Sin(7*x) * math.Cos(11*y), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 1)
+		y := math.Mod(math.Abs(b), 1)
+		v := tab.Eval(x, y)
+		return v >= -1-1e-9 && v <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package mc implements Monte Carlo yield analysis of the 6T SRAM cell
+// under random threshold-voltage variation — the analysis the paper uses
+// (§2, §4) to justify the noise-margin constraint δ = 0.35·Vdd and the
+// μ−kσ yield formulation.
+//
+// Each sample draws an independent Gaussian ΔVt for each of the six cell
+// transistors (random dopant/work-function fluctuation of a single fin) and
+// re-characterizes the margins with the circuit simulator. Sampling is
+// deterministic for a given seed, independent of parallel scheduling.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"sramco/internal/cell"
+	"sramco/internal/device"
+	"sramco/internal/num"
+)
+
+// DefaultSigmaVt is the per-device threshold σ (V) for a single 7 nm fin;
+// single-fin devices maximize variability, which is why the paper requires
+// margins ≥ 35% of Vdd.
+const DefaultSigmaVt = 0.025
+
+// Metric selects which margins a run computes.
+type Metric int
+
+const (
+	HSNM       Metric = 1 << iota // hold static noise margin
+	RSNM                          // read static noise margin
+	WM                            // write margin
+	AllMetrics = HSNM | RSNM | WM
+)
+
+// Config describes one Monte Carlo experiment.
+type Config struct {
+	Flavor  device.Flavor
+	SigmaVt float64 // per-device ΔVt standard deviation; 0 selects DefaultSigmaVt
+	N       int     // number of samples (≥ 2)
+	Seed    int64   // base PRNG seed; same seed ⇒ same samples
+
+	Read    cell.ReadBias  // bias for RSNM; zero value selects NominalRead(Vdd)
+	Write   cell.WriteBias // bias for WM; zero value selects NominalWrite(Vdd)
+	Vdd     float64        // nominal supply; 0 selects device.Vdd
+	Metrics Metric         // which margins to compute; 0 selects AllMetrics
+}
+
+func (c *Config) normalize() error {
+	if c.N < 2 {
+		return fmt.Errorf("mc: need N ≥ 2 samples, got %d", c.N)
+	}
+	if c.SigmaVt == 0 {
+		c.SigmaVt = DefaultSigmaVt
+	}
+	if c.SigmaVt < 0 {
+		return fmt.Errorf("mc: negative σVt %g", c.SigmaVt)
+	}
+	if c.Vdd == 0 {
+		c.Vdd = device.Vdd
+	}
+	if c.Read == (cell.ReadBias{}) {
+		c.Read = cell.NominalRead(c.Vdd)
+	}
+	if c.Write == (cell.WriteBias{}) {
+		c.Write = cell.NominalWrite(c.Vdd)
+	}
+	if c.Metrics == 0 {
+		c.Metrics = AllMetrics
+	}
+	return nil
+}
+
+// Sample is one Monte Carlo draw. Margins not requested are NaN.
+type Sample struct {
+	DVt  cell.Variation
+	HSNM float64
+	RSNM float64
+	WM   float64
+}
+
+// Min returns the smallest computed margin of the sample.
+func (s Sample) Min() float64 {
+	m := math.Inf(1)
+	for _, v := range []float64{s.HSNM, s.RSNM, s.WM} {
+		if !math.IsNaN(v) && v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Result aggregates a Monte Carlo run.
+type Result struct {
+	Config  Config
+	Samples []Sample
+
+	HSNM, RSNM, WM num.Summary // summaries of the computed metrics
+}
+
+// Run executes the experiment, parallelized across CPU cores.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	lib := device.Default7nm()
+	samples := make([]Sample, cfg.N)
+	errs := make([]error, cfg.N)
+
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+	next := make(chan int, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				samples[i], errs[i] = runSample(lib, cfg, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mc: sample %d: %w", i, err)
+		}
+	}
+	res := &Result{Config: cfg, Samples: samples}
+	collect := func(get func(Sample) float64) num.Summary {
+		vals := make([]float64, 0, cfg.N)
+		for _, s := range samples {
+			if v := get(s); !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return num.Summary{}
+		}
+		return num.Summarize(vals)
+	}
+	res.HSNM = collect(func(s Sample) float64 { return s.HSNM })
+	res.RSNM = collect(func(s Sample) float64 { return s.RSNM })
+	res.WM = collect(func(s Sample) float64 { return s.WM })
+	return res, nil
+}
+
+// runSample draws the per-transistor shifts for sample i (deterministically
+// from the seed) and characterizes the perturbed cell.
+func runSample(lib *device.Library, cfg Config, i int) (Sample, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i+1)*0x9E3779B97F4A7C15)))
+	var s Sample
+	s.HSNM, s.RSNM, s.WM = math.NaN(), math.NaN(), math.NaN()
+	for t := range s.DVt {
+		s.DVt[t] = rng.NormFloat64() * cfg.SigmaVt
+	}
+	c := &cell.Cell{Lib: lib, Flavor: cfg.Flavor, DVt: s.DVt}
+	var err error
+	if cfg.Metrics&HSNM != 0 {
+		if s.HSNM, err = c.HoldSNM(cfg.Vdd); err != nil {
+			return s, fmt.Errorf("HSNM: %w", err)
+		}
+	}
+	if cfg.Metrics&RSNM != 0 {
+		if s.RSNM, err = c.ReadSNM(cfg.Read); err != nil {
+			return s, fmt.Errorf("RSNM: %w", err)
+		}
+	}
+	if cfg.Metrics&WM != 0 {
+		if s.WM, err = c.WriteMargin(cfg.Write); err != nil {
+			// A write margin ≤ 0 (write fails at the applied VWL) is a
+			// legitimate fail sample, not an infrastructure error.
+			s.WM = 0
+		}
+	}
+	return s, nil
+}
+
+// MuMinusKSigma returns μ − k·σ for a summary — the paper's yield statistic.
+func MuMinusKSigma(s num.Summary, k float64) float64 { return s.Mean - k*s.Std }
+
+// FailFraction returns the fraction of samples whose minimum computed margin
+// falls below delta.
+func (r *Result) FailFraction(delta float64) float64 {
+	fails := 0
+	for _, s := range r.Samples {
+		if s.Min() < delta {
+			fails++
+		}
+	}
+	return float64(fails) / float64(len(r.Samples))
+}

@@ -1,0 +1,100 @@
+package periph
+
+import (
+	"testing"
+
+	"sramco/internal/circuit"
+	"sramco/internal/device"
+)
+
+// TestLogicalEffortMatchesSimulatedNAND cross-checks the logical-effort
+// constants against the circuit simulator, per the paper's "derived
+// analytically and verified by SPICE simulations" methodology: a gate-level
+// NAND2 driving four unit loads must be within 2.5× of the logical-effort
+// prediction τ·(g·h + p).
+func TestLogicalEffortMatchesSimulatedNAND(t *testing.T) {
+	tc := tech(t)
+	lib := device.Default7nm()
+	const h = 4.0
+
+	ckt := circuit.New()
+	ckt.AddV("vdd", "VDD", circuit.Ground, circuit.DC(tc.Vdd))
+	// Input A switches; input B held high so the series NFET stack conducts.
+	ckt.AddV("va", "a", circuit.Ground, circuit.Step(0, tc.Vdd, 20e-12, 1e-12))
+	ckt.AddV("vb", "b", circuit.Ground, circuit.DC(tc.Vdd))
+	// NAND2: two parallel PFETs, two series NFETs (stack node "mid").
+	ckt.AddFET(circuit.FET{Name: "mpa", Model: lib.PLVT, Fins: 1, D: "out", G: "a", S: "VDD"})
+	ckt.AddFET(circuit.FET{Name: "mpb", Model: lib.PLVT, Fins: 1, D: "out", G: "b", S: "VDD"})
+	ckt.AddFET(circuit.FET{Name: "mna", Model: lib.NLVT, Fins: 1, D: "out", G: "a", S: "mid"})
+	ckt.AddFET(circuit.FET{Name: "mnb", Model: lib.NLVT, Fins: 1, D: "mid", G: "b", S: circuit.Ground})
+	cUnit := lib.NLVT.CgFin + lib.PLVT.CgFin
+	ckt.AddC("cl", "out", circuit.Ground, h*cUnit)
+	ckt.AddC("cp", "out", circuit.Ground, 2*(lib.NLVT.CdFin+lib.PLVT.CdFin))
+
+	res, err := ckt.Transient(circuit.TranOpts{TStop: 200e-12, DT: 0.1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := tc.Vdd / 2
+	tIn, err := res.CrossTime("a", half, circuit.RisingEdge, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOut, err := res.CrossTime("out", half, circuit.FallingEdge, tIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := tOut - tIn
+
+	predicted := tc.Tau * (nandEffort(2)*h + nandParasitic(2))
+	ratio := simulated / predicted
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("NAND2 delay: simulated %g vs logical-effort %g (ratio %.2f, want 0.4-2.5)",
+			simulated, predicted, ratio)
+	}
+}
+
+// TestDriverChainMatchesSimulation cross-checks the superbuffer model: a
+// simulated 1→3→9 inverter chain driving a 27-fin gate load must be within
+// 2.5× of Driver(27).Delay (the model of the first three stages).
+func TestDriverChainMatchesSimulation(t *testing.T) {
+	tc := tech(t)
+	lib := device.Default7nm()
+
+	ckt := circuit.New()
+	ckt.AddV("vdd", "VDD", circuit.Ground, circuit.DC(tc.Vdd))
+	ckt.AddV("vin", "s0", circuit.Ground, circuit.Step(0, tc.Vdd, 20e-12, 1e-12))
+	cg := lib.NLVT.CgFin + lib.PLVT.CgFin
+	cd := lib.NLVT.CdFin + lib.PLVT.CdFin
+	// The simulator's FETs carry no intrinsic capacitance, so each node
+	// gets its explicit loading: the driving stage's drains plus the next
+	// stage's gates (exactly what the analytical model charges).
+	stage := func(fins, nextFins int, in, out string) {
+		ckt.AddFET(circuit.FET{Name: in + "p", Model: lib.PLVT, Fins: fins, D: out, G: in, S: "VDD"})
+		ckt.AddFET(circuit.FET{Name: in + "n", Model: lib.NLVT, Fins: fins, D: out, G: in, S: circuit.Ground})
+		ckt.AddC("c"+out, out, circuit.Ground, float64(fins)*cd+float64(nextFins)*cg)
+	}
+	stage(1, 3, "s0", "s1")
+	stage(3, 9, "s1", "s2")
+	stage(9, 27, "s2", "s3")
+
+	res, err := ckt.Transient(circuit.TranOpts{TStop: 300e-12, DT: 0.1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := tc.Vdd / 2
+	tIn, err := res.CrossTime("s0", half, circuit.RisingEdge, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tOut, err := res.CrossTime("s3", half, circuit.FallingEdge, tIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := tOut - tIn
+	predicted := tc.Driver(WLDriverFins).Delay
+	ratio := simulated / predicted
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("driver chain: simulated %g vs model %g (ratio %.2f)", simulated, predicted, ratio)
+	}
+}

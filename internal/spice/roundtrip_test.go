@@ -1,0 +1,95 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sramco/internal/circuit"
+	"sramco/internal/device"
+)
+
+// TestNetlistRoundTrip builds a 6T cell programmatically, dumps it with
+// WriteNetlist, re-parses it with this package, and verifies both circuits
+// solve to the same operating point — the exporter and parser agree on the
+// dialect.
+func TestNetlistRoundTrip(t *testing.T) {
+	lib := device.Default7nm()
+	build := func() *circuit.Circuit {
+		c := circuit.New()
+		c.AddV("vdd", "VDD", circuit.Ground, circuit.DC(device.Vdd))
+		c.AddV("vwl", "WL", circuit.Ground, circuit.DC(0))
+		c.AddV("vbl", "BL", circuit.Ground, circuit.DC(device.Vdd))
+		c.AddV("vblb", "BLB", circuit.Ground, circuit.DC(device.Vdd))
+		c.AddFET(circuit.FET{Name: "pu1", Model: lib.PHVT, Fins: 1, D: "Q", G: "QB", S: "VDD"})
+		c.AddFET(circuit.FET{Name: "pd1", Model: lib.NHVT, Fins: 1, D: "Q", G: "QB", S: circuit.Ground})
+		c.AddFET(circuit.FET{Name: "ax1", Model: lib.NHVT, Fins: 1, D: "BL", G: "WL", S: "Q"})
+		c.AddFET(circuit.FET{Name: "pu2", Model: lib.PHVT, Fins: 1, D: "QB", G: "Q", S: "VDD"})
+		c.AddFET(circuit.FET{Name: "pd2", Model: lib.NHVT, Fins: 1, D: "QB", G: "Q", S: circuit.Ground})
+		c.AddFET(circuit.FET{Name: "ax2", Model: lib.NHVT, Fins: 2, DVt: 0.01, D: "BLB", G: "WL", S: "QB"})
+		c.AddR("rload", "Q", circuit.Ground, 1e9)
+		c.AddC("cq", "Q", circuit.Ground, 0.1e-15)
+		c.SetIC("Q", 0)
+		c.SetIC("QB", device.Vdd)
+		return c
+	}
+	orig := build()
+	var deck strings.Builder
+	if err := orig.WriteNetlist(&deck, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(strings.NewReader(deck.String()), lib)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\ndeck:\n%s", err, deck.String())
+	}
+	if parsed.Title != "round trip" {
+		t.Errorf("title %q", parsed.Title)
+	}
+
+	r1, err := orig.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := parsed.Circuit.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"Q", "QB", "VDD"} {
+		// Node names are lowercased... the parser keeps case as written;
+		// WriteNetlist wrote original case, but parseLine lowercases only
+		// card heads, not node fields — verify both agree.
+		v1, v2 := r1.V(n), r2.V(n)
+		if math.Abs(v1-v2) > 1e-9 {
+			t.Errorf("node %s: %g vs %g after round trip", n, v1, v2)
+		}
+	}
+}
+
+// TestNetlistRoundTripPWL checks PWL sources survive the round trip.
+func TestNetlistRoundTripPWL(t *testing.T) {
+	c := circuit.New()
+	c.AddV("vin", "in", circuit.Ground, circuit.NewPWL(
+		circuit.PWLPoint{T: 0, V: 0},
+		circuit.PWLPoint{T: 1e-9, V: 0.45},
+	))
+	c.AddR("r1", "in", "out", 1e3)
+	c.AddC("c1", "out", circuit.Ground, 1e-15)
+	var deck strings.Builder
+	if err := c.WriteNetlist(&deck, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(deck.String(), "PWL(0 0 1e-09 0.45)") {
+		t.Fatalf("PWL card missing:\n%s", deck.String())
+	}
+	parsed, err := Parse(strings.NewReader(deck.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parsed.Circuit.Transient(circuit.TranOpts{TStop: 2e-9, DT: 5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Final("out"); math.Abs(f-0.45) > 0.05 {
+		t.Errorf("final out %g after round-tripped ramp", f)
+	}
+}

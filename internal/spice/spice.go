@@ -1,0 +1,430 @@
+// Package spice provides a SPICE-dialect netlist front end for the bundled
+// circuit simulator: a parser for a compact subset of the classic deck
+// format (FinFET/R/C/V/I cards, .ic, .op/.dc/.tran analyses, .print) and a
+// runner that executes the analyses and prints tabular results.
+//
+// Supported cards (case-insensitive, '*' and ';' comments, '+' line
+// continuation):
+//
+//	Mxxx  d g s model [fins=N] [dvt=V]    model ∈ {nlvt, nhvt, plvt, phvt}
+//	Rxxx  a b value
+//	Cxxx  a b value
+//	Vxxx  a b DC value | PWL(t1 v1 t2 v2 ...)
+//	Ixxx  a b DC value
+//	.title any text
+//	.ic v(node)=value ...
+//	.op
+//	.dc Vxxx start stop step
+//	.tran dt tstop [uic]
+//	.print node [node ...]
+//	.end
+//
+// Values accept the usual SI suffixes (f p n u m k meg g, plus 'v'/'s'
+// unit letters, e.g. 450m, 0.1p, 2meg).
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sramco/internal/circuit"
+	"sramco/internal/device"
+)
+
+// Analysis is one simulation request from the deck.
+type Analysis interface{ isAnalysis() }
+
+// OpAnalysis requests a DC operating point (.op).
+type OpAnalysis struct{}
+
+func (OpAnalysis) isAnalysis() {}
+
+// DCAnalysis requests a DC sweep of a voltage source (.dc).
+type DCAnalysis struct {
+	Source            string
+	Start, Stop, Step float64
+}
+
+func (DCAnalysis) isAnalysis() {}
+
+// TranAnalysis requests a transient run (.tran).
+type TranAnalysis struct {
+	DT, TStop float64
+	UIC       bool
+}
+
+func (TranAnalysis) isAnalysis() {}
+
+// Deck is a parsed netlist plus its analysis requests.
+type Deck struct {
+	Title    string
+	Circuit  *circuit.Circuit
+	Analyses []Analysis
+	Prints   []string // nodes to report; empty means sources' nodes only
+}
+
+// ParseValue parses a SPICE number with optional SI suffix and unit letter.
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" {
+		return 0, fmt.Errorf("spice: empty value")
+	}
+	// Strip trailing unit letters (v, a, s, f as in farad handled below —
+	// note 'f' alone after digits is femto, "ff" would be femto-farad).
+	suffixes := []struct {
+		suf   string
+		scale float64
+	}{
+		{"meg", 1e6}, {"t", 1e12}, {"g", 1e9}, {"k", 1e3},
+		{"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+	}
+	// Remove a trailing unit letter that is not itself a scale suffix.
+	for _, unit := range []string{"v", "a", "s", "hz", "ohm"} {
+		if len(ls) > len(unit) && strings.HasSuffix(ls, unit) {
+			// Keep 'f' meaning femto: only strip the unit when what remains
+			// still ends in a digit or a scale suffix.
+			trimmed := ls[:len(ls)-len(unit)]
+			if trimmed != "" && (isDigitEnd(trimmed) || hasScaleSuffix(trimmed)) {
+				ls = trimmed
+				break
+			}
+		}
+	}
+	for _, sx := range suffixes {
+		if strings.HasSuffix(ls, sx.suf) {
+			base := strings.TrimSuffix(ls, sx.suf)
+			v, err := strconv.ParseFloat(base, 64)
+			if err != nil {
+				return 0, fmt.Errorf("spice: bad value %q", s)
+			}
+			return v * sx.scale, nil
+		}
+	}
+	v, err := strconv.ParseFloat(ls, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spice: bad value %q", s)
+	}
+	return v, nil
+}
+
+func isDigitEnd(s string) bool {
+	c := s[len(s)-1]
+	return c >= '0' && c <= '9' || c == '.'
+}
+
+func hasScaleSuffix(s string) bool {
+	for _, sx := range []string{"meg", "t", "g", "k", "m", "u", "n", "p", "f"} {
+		if strings.HasSuffix(s, sx) {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse reads a netlist deck, building the circuit against the given device
+// library (nil selects the default 7 nm library).
+func Parse(r io.Reader, lib *device.Library) (*Deck, error) {
+	if lib == nil {
+		lib = device.Default7nm()
+	}
+	deck := &Deck{Circuit: circuit.New()}
+	scanner := bufio.NewScanner(r)
+
+	// Join continuation lines first.
+	var lines []string
+	for scanner.Scan() {
+		raw := scanner.Text()
+		if i := strings.IndexByte(raw, ';'); i >= 0 {
+			raw = raw[:i]
+		}
+		line := strings.TrimRight(raw, " \t")
+		if trimmed := strings.TrimSpace(line); trimmed == "" || strings.HasPrefix(trimmed, "*") {
+			continue
+		}
+		if strings.HasPrefix(strings.TrimSpace(line), "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "+"))
+			continue
+		}
+		lines = append(lines, strings.TrimSpace(line))
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("spice: reading deck: %w", err)
+	}
+
+	for n, line := range lines {
+		if err := deck.parseLine(line, lib); err != nil {
+			return nil, fmt.Errorf("spice: card %d (%q): %w", n+1, line, err)
+		}
+	}
+	return deck, nil
+}
+
+// node normalizes node names: gnd aliases to the simulator ground.
+func node(s string) string {
+	if strings.EqualFold(s, "gnd") {
+		return circuit.Ground
+	}
+	return s
+}
+
+func (d *Deck) parseLine(line string, lib *device.Library) error {
+	fields := strings.Fields(line)
+	head := strings.ToLower(fields[0])
+	switch {
+	case head == ".end":
+		return nil
+	case head == ".title":
+		d.Title = strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+		return nil
+	case head == ".op":
+		d.Analyses = append(d.Analyses, OpAnalysis{})
+		return nil
+	case head == ".dc":
+		if len(fields) != 5 {
+			return fmt.Errorf("want .dc SRC start stop step")
+		}
+		start, err1 := ParseValue(fields[2])
+		stop, err2 := ParseValue(fields[3])
+		step, err3 := ParseValue(fields[4])
+		if err1 != nil || err2 != nil || err3 != nil || step == 0 {
+			return fmt.Errorf("bad .dc numbers")
+		}
+		d.Analyses = append(d.Analyses, DCAnalysis{Source: strings.ToLower(fields[1]), Start: start, Stop: stop, Step: step})
+		return nil
+	case head == ".tran":
+		if len(fields) < 3 {
+			return fmt.Errorf("want .tran dt tstop [uic]")
+		}
+		dt, err1 := ParseValue(fields[1])
+		tstop, err2 := ParseValue(fields[2])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad .tran numbers")
+		}
+		uic := len(fields) > 3 && strings.EqualFold(fields[3], "uic")
+		d.Analyses = append(d.Analyses, TranAnalysis{DT: dt, TStop: tstop, UIC: uic})
+		return nil
+	case head == ".print":
+		for _, f := range fields[1:] {
+			f = strings.TrimSuffix(f, ")")
+			if lf := strings.ToLower(f); strings.HasPrefix(lf, "v(") {
+				f = f[2:]
+			}
+			d.Prints = append(d.Prints, node(f))
+		}
+		return nil
+	case head == ".ic":
+		for _, f := range fields[1:] {
+			eq := strings.IndexByte(f, '=')
+			if eq < 0 || !strings.HasPrefix(strings.ToLower(f), "v(") {
+				return fmt.Errorf("want .ic v(node)=value")
+			}
+			name := strings.TrimSuffix(f[2:eq], ")")
+			v, err := ParseValue(f[eq+1:])
+			if err != nil {
+				return err
+			}
+			d.Circuit.SetIC(node(name), v)
+		}
+		return nil
+	case strings.HasPrefix(head, "."):
+		return fmt.Errorf("unknown control card %s", head)
+	}
+
+	name := strings.ToLower(fields[0])
+	switch head[0] {
+	case 'm':
+		return d.parseFET(name, fields, lib)
+	case 'r':
+		if len(fields) != 4 {
+			return fmt.Errorf("want Rxxx a b value")
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		d.Circuit.AddR(name, node(fields[1]), node(fields[2]), v)
+		return nil
+	case 'c':
+		if len(fields) != 4 {
+			return fmt.Errorf("want Cxxx a b value")
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		d.Circuit.AddC(name, node(fields[1]), node(fields[2]), v)
+		return nil
+	case 'v':
+		w, err := parseSourceWave(fields[3:])
+		if err != nil {
+			return err
+		}
+		d.Circuit.AddV(name, node(fields[1]), node(fields[2]), w)
+		return nil
+	case 'i':
+		w, err := parseSourceWave(fields[3:])
+		if err != nil {
+			return err
+		}
+		d.Circuit.AddI(name, node(fields[1]), node(fields[2]), w)
+		return nil
+	}
+	return fmt.Errorf("unknown card type %q", fields[0])
+}
+
+func (d *Deck) parseFET(name string, fields []string, lib *device.Library) error {
+	if len(fields) < 5 {
+		return fmt.Errorf("want Mxxx d g s model [fins=N] [dvt=V]")
+	}
+	var model *device.Model
+	switch strings.ToLower(fields[4]) {
+	case "nlvt":
+		model = lib.NLVT
+	case "nhvt":
+		model = lib.NHVT
+	case "plvt":
+		model = lib.PLVT
+	case "phvt":
+		model = lib.PHVT
+	default:
+		return fmt.Errorf("unknown model %q (want nlvt/nhvt/plvt/phvt)", fields[4])
+	}
+	fins := 1
+	dvt := 0.0
+	for _, f := range fields[5:] {
+		lf := strings.ToLower(f)
+		switch {
+		case strings.HasPrefix(lf, "fins="):
+			n, err := strconv.Atoi(lf[len("fins="):])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad fins in %q", f)
+			}
+			fins = n
+		case strings.HasPrefix(lf, "dvt="):
+			v, err := ParseValue(lf[len("dvt="):])
+			if err != nil {
+				return err
+			}
+			dvt = v
+		default:
+			return fmt.Errorf("unknown FET parameter %q", f)
+		}
+	}
+	d.Circuit.AddFET(circuit.FET{
+		Name: name, Model: model, Fins: fins, DVt: dvt,
+		D: node(fields[1]), G: node(fields[2]), S: node(fields[3]),
+	})
+	return nil
+}
+
+// parseSourceWave parses "DC v" or "PWL(t v t v ...)".
+func parseSourceWave(fields []string) (circuit.Waveform, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("missing source value")
+	}
+	joined := strings.ToLower(strings.Join(fields, " "))
+	switch {
+	case strings.HasPrefix(joined, "dc"):
+		v, err := ParseValue(strings.TrimSpace(joined[2:]))
+		if err != nil {
+			return nil, err
+		}
+		return circuit.DC(v), nil
+	case strings.HasPrefix(joined, "pwl"):
+		inner := strings.TrimPrefix(joined, "pwl")
+		inner = strings.TrimSpace(inner)
+		inner = strings.TrimPrefix(inner, "(")
+		inner = strings.TrimSuffix(inner, ")")
+		parts := strings.FieldsFunc(inner, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+		if len(parts) < 2 || len(parts)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs an even number of values")
+		}
+		pts := make([]circuit.PWLPoint, 0, len(parts)/2)
+		for i := 0; i < len(parts); i += 2 {
+			t, err1 := ParseValue(parts[i])
+			v, err2 := ParseValue(parts[i+1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad PWL pair %q %q", parts[i], parts[i+1])
+			}
+			pts = append(pts, circuit.PWLPoint{T: t, V: v})
+		}
+		return circuit.NewPWL(pts...), nil
+	default:
+		// Bare value means DC.
+		v, err := ParseValue(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		return circuit.DC(v), nil
+	}
+}
+
+// Run executes every analysis in deck order, writing tabular results to w.
+func (d *Deck) Run(w io.Writer) error {
+	if len(d.Analyses) == 0 {
+		return fmt.Errorf("spice: deck has no analyses (.op/.dc/.tran)")
+	}
+	for _, a := range d.Analyses {
+		switch an := a.(type) {
+		case OpAnalysis:
+			res, err := d.Circuit.DCOperatingPoint()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "* operating point")
+			for _, n := range d.Prints {
+				fmt.Fprintf(w, "v(%s) = %.6g\n", n, res.V(n))
+			}
+		case DCAnalysis:
+			var values []float64
+			if an.Step > 0 {
+				for v := an.Start; v <= an.Stop+an.Step*1e-9; v += an.Step {
+					values = append(values, v)
+				}
+			} else {
+				for v := an.Start; v >= an.Stop+an.Step*1e-9; v += an.Step {
+					values = append(values, v)
+				}
+			}
+			rs, err := d.Circuit.DCSweep(an.Source, values)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "* dc sweep of %s\n%-12s", an.Source, an.Source)
+			for _, n := range d.Prints {
+				fmt.Fprintf(w, " %-12s", "v("+n+")")
+			}
+			fmt.Fprintln(w)
+			for i, r := range rs {
+				fmt.Fprintf(w, "%-12.6g", values[i])
+				for _, n := range d.Prints {
+					fmt.Fprintf(w, " %-12.6g", r.V(n))
+				}
+				fmt.Fprintln(w)
+			}
+		case TranAnalysis:
+			res, err := d.Circuit.Transient(circuit.TranOpts{TStop: an.TStop, DT: an.DT, UIC: an.UIC})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "* transient to %g\n%-14s", an.TStop, "t")
+			for _, n := range d.Prints {
+				fmt.Fprintf(w, " %-12s", "v("+n+")")
+			}
+			fmt.Fprintln(w)
+			// Thin the output to at most ~200 printed rows.
+			stride := len(res.Times)/200 + 1
+			for i := 0; i < len(res.Times); i += stride {
+				fmt.Fprintf(w, "%-14.6g", res.Times[i])
+				for _, n := range d.Prints {
+					fmt.Fprintf(w, " %-12.6g", res.V(n)[i])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return nil
+}

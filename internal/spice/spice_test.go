@@ -1,0 +1,238 @@
+package spice
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1},
+		{"450m", 0.45},
+		{"450mV", 0.45},
+		{"0.1p", 0.1e-12},
+		{"2meg", 2e6},
+		{"1k", 1e3},
+		{"3.5n", 3.5e-9},
+		{"10f", 10e-15},
+		{"-240m", -0.24},
+		{"1e-12", 1e-12},
+		{"2u", 2e-6},
+		{"5g", 5e9},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > math.Abs(c.want)*1e-12 {
+			t.Errorf("ParseValue(%q) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x1", "--3"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAndRunDivider(t *testing.T) {
+	deck := `
+* resistive divider
+.title divider test
+v1 in gnd DC 1.0
+r1 in mid 1k
+r2 mid gnd 3k
+.op
+.print v(mid) v(in)
+.end
+`
+	d, err := Parse(strings.NewReader(deck), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "divider test" {
+		t.Errorf("title %q", d.Title)
+	}
+	var out strings.Builder
+	if err := d.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "v(mid) = 0.75") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestParseInverterDCSweep(t *testing.T) {
+	deck := `
+vdd vdd 0 DC 450m
+vin in 0 DC 0
+mp out in vdd plvt
+mn out in 0 nlvt fins=1
+.dc vin 0 450m 45m
+.print v(out)
+`
+	d, err := Parse(strings.NewReader(deck), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := d.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header ×2 + 11 sweep points.
+	if len(lines) != 13 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out.String())
+	}
+	// First point: out ≈ Vdd; last: out ≈ 0.
+	first := strings.Fields(lines[2])
+	last := strings.Fields(lines[len(lines)-1])
+	fv, _ := ParseValue(first[1])
+	lv, _ := ParseValue(last[1])
+	if fv < 0.4 {
+		t.Errorf("VTC start %g, want ≈0.45", fv)
+	}
+	if lv > 0.05 {
+		t.Errorf("VTC end %g, want ≈0", lv)
+	}
+}
+
+func TestParseTransientWithPWLAndIC(t *testing.T) {
+	deck := `
+vin in 0 PWL(0 0 1n 0 1.001n 1 5n 1)
+r1 in out 1k
+c1 out 0 1p
+.ic v(out)=0
+.tran 10p 5n uic
+.print v(out)
+`
+	d, err := Parse(strings.NewReader(deck), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := d.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	// Final value approaches 1 after ~4 RC.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	last := strings.Fields(lines[len(lines)-1])
+	v, _ := ParseValue(last[1])
+	if v < 0.9 {
+		t.Errorf("final RC value %g, want ≥0.9:\n%s", v, out.String())
+	}
+}
+
+func TestContinuationAndComments(t *testing.T) {
+	deck := `
+* comment line
+v1 a 0
++ DC 2 ; trailing comment
+r1 a 0 1k
+.op
+.print v(a)
+`
+	d, err := Parse(strings.NewReader(deck), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := d.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "v(a) = 2") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestSRAMCellDeck(t *testing.T) {
+	// The 6T cell expressed as a netlist: hold state must be stable.
+	deck := `
+.title 6t hold
+vdd vdd 0 DC 450m
+vbl bl 0 DC 450m
+vblb blb 0 DC 450m
+vwl wl 0 DC 0
+mpu1 q qb vdd phvt
+mpd1 q qb 0 nhvt
+max1 bl wl q nhvt
+mpu2 qb q vdd phvt
+mpd2 qb q 0 nhvt
+max2 blb wl qb nhvt
+.ic v(q)=0 v(qb)=450m
+.op
+.print v(q) v(qb)
+`
+	d, err := Parse(strings.NewReader(deck), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := d.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "v(q) = ") {
+		t.Fatalf("missing q:\n%s", s)
+	}
+	// q stays low, qb stays high.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "v(q) = ") {
+			v, _ := ParseValue(strings.TrimPrefix(line, "v(q) = "))
+			if v > 0.05 {
+				t.Errorf("hold state lost: %s", line)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown card":    "x1 a b 5\n.op\n",
+		"unknown control": ".foo\n",
+		"bad fet model":   "m1 d g s weird\n.op\n",
+		"bad fins":        "m1 d g s nlvt fins=zero\n.op\n",
+		"bad fet param":   "m1 d g s nlvt w=5\n.op\n",
+		"short fet":       "m1 d g\n.op\n",
+		"bad r":           "r1 a b\n.op\n",
+		"bad value":       "r1 a b 1x\n.op\n",
+		"bad dc card":     ".dc v1 0 1\n",
+		"bad tran":        ".tran 1n\n",
+		"bad ic":          ".ic q=1\n",
+		"odd pwl":         "v1 a 0 PWL(0 1 2)\n.op\n",
+	}
+	for name, deck := range cases {
+		if _, err := Parse(strings.NewReader(deck), nil); err == nil {
+			t.Errorf("%s: parse accepted %q", name, deck)
+		}
+	}
+}
+
+func TestRunWithoutAnalyses(t *testing.T) {
+	d, err := Parse(strings.NewReader("r1 a 0 1k\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := d.Run(&out); err == nil {
+		t.Error("deck without analyses should fail to run")
+	}
+}
+
+func TestFETParams(t *testing.T) {
+	deck := `
+vd d 0 DC 450m
+m1 d g 0 nhvt fins=3 dvt=20m
+.op
+.print v(d)
+`
+	if _, err := Parse(strings.NewReader(deck), nil); err != nil {
+		t.Fatalf("fins/dvt parameters rejected: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package unit provides SI unit constants and human-readable formatting for
+// the physical quantities that flow through sramco: voltages, currents,
+// capacitances, times, energies and powers. All internal computation is in
+// base SI units (V, A, F, s, J, W); this package only scales at the edges.
+package unit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaling constants. Multiply to convert into base SI; divide to convert out.
+const (
+	Milli = 1e-3
+	Micro = 1e-6
+	Nano  = 1e-9
+	Pico  = 1e-12
+	Femto = 1e-15
+	Atto  = 1e-18
+)
+
+// Convenience constants for common engineering units.
+const (
+	MV = Milli // millivolt in volts
+	UA = Micro // microampere in amperes
+	NA = Nano  // nanoampere in amperes
+	FF = Femto // femtofarad in farads
+	PS = Pico  // picosecond in seconds
+	NS = Nano  // nanosecond in seconds
+	FJ = Femto // femtojoule in joules
+	AJ = Atto  // attojoule in joules
+	NW = Nano  // nanowatt in watts
+	UW = Micro // microwatt in watts
+	UM = Micro // micrometre in metres
+	NM = Nano  // nanometre in metres
+)
+
+type prefix struct {
+	scale  float64
+	symbol string
+}
+
+var prefixes = []prefix{
+	{1e-18, "a"}, {1e-15, "f"}, {1e-12, "p"}, {1e-9, "n"},
+	{1e-6, "µ"}, {1e-3, "m"}, {1, ""}, {1e3, "k"}, {1e6, "M"}, {1e9, "G"},
+}
+
+// Format renders v with an SI prefix and the given unit symbol, e.g.
+// Format(3.2e-12, "s") == "3.20ps". Zero renders without a prefix.
+func Format(v float64, symbol string) string {
+	if v == 0 {
+		return "0" + symbol
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%g%s", v, symbol)
+	}
+	a := math.Abs(v)
+	best := prefixes[len(prefixes)-1]
+	for _, p := range prefixes {
+		if a < p.scale*1000 {
+			best = p
+			break
+		}
+	}
+	return fmt.Sprintf("%.3g%s%s", v/best.scale, best.symbol, symbol)
+}
+
+// Volts, Amps, Farads, Seconds, Joules, Watts format a base-SI value with
+// the conventional symbol.
+func Volts(v float64) string   { return Format(v, "V") }
+func Amps(v float64) string    { return Format(v, "A") }
+func Farads(v float64) string  { return Format(v, "F") }
+func Seconds(v float64) string { return Format(v, "s") }
+func Joules(v float64) string  { return Format(v, "J") }
+func Watts(v float64) string   { return Format(v, "W") }
+
+// Bytes formats a memory capacity in bits as B/KB (binary, as in the paper:
+// 1 KB = 8192 bits).
+func Bytes(bits int) string {
+	b := bits / 8
+	switch {
+	case b >= 1024 && b%1024 == 0:
+		return fmt.Sprintf("%dKB", b/1024)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,76 @@
+package unit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v      float64
+		symbol string
+		want   string
+	}{
+		{0, "V", "0V"},
+		{0.45, "V", "450mV"},
+		{3.2e-12, "s", "3.2ps"},
+		{1.692e-9, "W", "1.69nW"},
+		{9.5e-5, "A", "95µA"},
+		{0.17e-15, "F", "170aF"},
+		{2.5e3, "Hz", "2.5kHz"},
+		{-0.1, "V", "-100mV"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v, c.symbol); got != c.want {
+			t.Errorf("Format(%g, %q) = %q, want %q", c.v, c.symbol, got, c.want)
+		}
+	}
+}
+
+func TestFormatNonFinite(t *testing.T) {
+	if got := Format(math.NaN(), "V"); got != "NaNV" {
+		t.Errorf("NaN format = %q", got)
+	}
+	if got := Format(math.Inf(1), "V"); got != "+InfV" {
+		t.Errorf("Inf format = %q", got)
+	}
+}
+
+func TestNamedFormatters(t *testing.T) {
+	if got := Seconds(64e-12); got != "64ps" {
+		t.Errorf("Seconds = %q", got)
+	}
+	if got := Watts(0.082e-9); got != "82pW" {
+		t.Errorf("Watts = %q", got)
+	}
+	if got := Volts(0.55); got != "550mV" {
+		t.Errorf("Volts = %q", got)
+	}
+	if got := Amps(1e-9); got != "1nA" {
+		t.Errorf("Amps = %q", got)
+	}
+	if got := Farads(3e-15); got != "3fF" {
+		t.Errorf("Farads = %q", got)
+	}
+	if got := Joules(5e-18); got != "5aJ" {
+		t.Errorf("Joules = %q", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		bits int
+		want string
+	}{
+		{1024, "128B"},
+		{2048, "256B"},
+		{8192, "1KB"},
+		{32768, "4KB"},
+		{131072, "16KB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.bits); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.bits, got, c.want)
+		}
+	}
+}

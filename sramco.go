@@ -1,0 +1,260 @@
+// Package sramco is a device-circuit-architecture co-optimization framework
+// for minimizing the energy-delay product (EDP) of FinFET SRAM arrays,
+// reproducing Shafaei, Afzali-Kusha and Pedram, "Minimizing the Energy-Delay
+// Product of SRAM Arrays using a Device-Circuit-Architecture Co-Optimization
+// Framework" (DAC 2016).
+//
+// The framework spans three levels:
+//
+//   - Device: a calibrated 7 nm FinFET compact model with LVT and HVT
+//     flavors (HVT: 2× lower ION, 20× lower IOFF, 10× higher ON/OFF ratio),
+//     plus a compact SPICE-like circuit simulator used for all cell and
+//     peripheral characterization.
+//   - Circuit: read/write assist techniques — Vdd boost (VDDC), negative
+//     Gnd (VSSC) and wordline overdrive (VWL) — whose levels are pinned at
+//     the minimum values meeting the yield constraint
+//     min(HSNM, RSNM, WM) ≥ 0.35·Vdd.
+//   - Architecture: the array organization (rows n_r, columns n_c,
+//     precharger fins N_pre, write-buffer fins N_wr), searched exhaustively
+//     together with VSSC for the minimum-EDP design.
+//
+// Basic use:
+//
+//	fw, err := sramco.NewFramework(sramco.TechPaper)
+//	if err != nil { ... }
+//	opt, err := fw.Optimize(4096, sramco.HVT, sramco.M2) // a 4 KB array
+//	fmt.Println(opt.Best.Design.Geom.NR, opt.Best.Result.EDP)
+package sramco
+
+import (
+	"fmt"
+	"sync"
+
+	"sramco/internal/array"
+	"sramco/internal/cell"
+	"sramco/internal/core"
+	"sramco/internal/device"
+	"sramco/internal/exp"
+	"sramco/internal/mc"
+	"sramco/internal/wire"
+)
+
+// Re-exported domain types. These aliases give external code names for the
+// types flowing through the public API.
+type (
+	// Flavor is the cell threshold-voltage flavor (LVT or HVT).
+	Flavor = device.Flavor
+	// Mode selects paper-calibrated or fully simulated characterization.
+	Mode = core.Mode
+	// Method is the assist-rail restriction (M1: one extra rail; M2: free).
+	Method = core.Method
+	// Geometry is the array organization (n_r × n_c, W, N_pre, N_wr).
+	Geometry = wire.Geometry
+	// Design is a candidate design point: geometry plus assist rails.
+	Design = array.Design
+	// Result is the full analytical evaluation of a design point.
+	Result = array.Result
+	// Activity carries the workload factors α (access probability) and β
+	// (read fraction) of the paper's Eq. (3)/(5).
+	Activity = array.Activity
+	// EnergyAccounting selects the Table-3 energy interpretation.
+	EnergyAccounting = array.EnergyAccounting
+	// Options configures a single optimization run in full detail.
+	Options = core.Options
+	// Optimum is the outcome of an optimization run.
+	Optimum = core.Optimum
+	// ReadBias and WriteBias are cell bias conditions for characterization.
+	ReadBias  = cell.ReadBias
+	WriteBias = cell.WriteBias
+	// Table4Row is one optimized configuration (paper Table 4 / Fig. 7).
+	Table4Row = exp.Table4Row
+	// Headline aggregates the paper's abstract statistics.
+	Headline = exp.Headline
+	// MCConfig and MCResult drive Monte Carlo yield analysis.
+	MCConfig = mc.Config
+	MCResult = mc.Result
+)
+
+// Re-exported constants.
+const (
+	LVT = device.LVT
+	HVT = device.HVT
+
+	M1 = core.M1
+	M2 = core.M2
+
+	TechPaper     = core.TechPaper
+	TechSimulated = core.TechSimulated
+
+	WorstCasePath = array.WorstCasePath
+	AllColumns    = array.AllColumns
+
+	// Vdd is the nominal supply voltage of the 7 nm library (450 mV).
+	Vdd = device.Vdd
+	// DeltaVS is the bitline sense voltage ΔVs (120 mV).
+	DeltaVS = core.DefaultDeltaVS
+)
+
+// Delta returns the paper's minimum acceptable noise margin δ = 0.35·Vdd.
+func Delta() float64 { return core.DefaultDelta(Vdd) }
+
+// Framework is a characterized co-optimization context. Construction runs
+// circuit simulations; reuse one Framework across optimizations.
+type Framework struct {
+	core *core.Framework
+}
+
+// NewFramework characterizes the 7 nm technology and both cell flavors
+// under the given mode.
+func NewFramework(mode Mode) (*Framework, error) {
+	fw, err := core.NewFramework(mode, core.FrameworkOpts{})
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{core: fw}, nil
+}
+
+// NewFrameworkWithAccounting is NewFramework with an explicit Table-3
+// energy-accounting interpretation (ablation knob).
+func NewFrameworkWithAccounting(mode Mode, acct EnergyAccounting) (*Framework, error) {
+	fw, err := core.NewFramework(mode, core.FrameworkOpts{Accounting: acct})
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{core: fw}, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultFW   *Framework
+	defaultErr  error
+)
+
+// Default returns a process-wide shared TechPaper framework.
+func Default() (*Framework, error) {
+	defaultOnce.Do(func() { defaultFW, defaultErr = NewFramework(TechPaper) })
+	return defaultFW, defaultErr
+}
+
+// Core exposes the underlying core framework for advanced use (custom
+// objectives, search spaces, greedy ablation).
+func (f *Framework) Core() *core.Framework { return f.core }
+
+// Optimize finds the minimum-EDP design for an array of capacityBytes using
+// the paper's default workload (α = β = 0.5, W = 64, δ = 0.35·Vdd) and
+// search ranges.
+func (f *Framework) Optimize(capacityBytes int, flavor Flavor, method Method) (*Optimum, error) {
+	if capacityBytes <= 0 {
+		return nil, fmt.Errorf("sramco: capacity %d bytes must be positive", capacityBytes)
+	}
+	return f.core.Optimize(core.Options{
+		CapacityBits: capacityBytes * 8,
+		Flavor:       flavor,
+		Method:       method,
+	})
+}
+
+// OptimizeWith runs an optimization with fully explicit options.
+func (f *Framework) OptimizeWith(opts Options) (*Optimum, error) { return f.core.Optimize(opts) }
+
+// Evaluate runs the analytical array model on one explicit design point.
+func (f *Framework) Evaluate(flavor Flavor, d Design, act Activity) (*Result, error) {
+	tech, err := f.core.ArrayTech(flavor)
+	if err != nil {
+		return nil, err
+	}
+	return array.Evaluate(tech, d, act)
+}
+
+// Rails returns the assist rail voltages (VDDC, VWL) the method pins for a
+// flavor before the search.
+func (f *Framework) Rails(flavor Flavor, m Method) (vddc, vwl float64, err error) {
+	return f.core.Rails(flavor, m)
+}
+
+// Table4 reproduces the paper's Table 4 (and the data behind Fig. 7) over
+// the given capacities in bits; pass exp.PaperCapacities() via
+// PaperCapacities() for the paper's set.
+func (f *Framework) Table4(capacityBits []int) ([]Table4Row, error) {
+	return exp.Table4(f.core, capacityBits)
+}
+
+// HeadlineStats computes the abstract's aggregate numbers from Table-4
+// rows: average EDP reduction and delay penalty of HVT-M2 vs LVT-M2.
+func HeadlineStats(rows []Table4Row) (*Headline, error) { return exp.ComputeHeadline(rows) }
+
+// PaperCapacities returns the five capacities of Table 4 / Fig. 7 in bits
+// (128 B to 16 KB).
+func PaperCapacities() []int { return exp.PaperCapacities() }
+
+// CellReport summarizes one characterized 6T cell at nominal conditions.
+type CellReport struct {
+	Flavor     Flavor
+	HSNM       float64 // hold static noise margin (V)
+	RSNM       float64 // read static noise margin, no assist (V)
+	WM         float64 // write margin, no assist (V)
+	Leakage    float64 // standby leakage power (W)
+	ReadI      float64 // read current, no assist (A)
+	WriteDelay float64 // cell write delay, no assist (s)
+}
+
+// CharacterizeCell measures a nominal 6T cell of the given flavor with the
+// bundled circuit simulator at the nominal supply.
+func CharacterizeCell(flavor Flavor) (*CellReport, error) {
+	c := cell.New(flavor)
+	r := &CellReport{Flavor: flavor}
+	var err error
+	if r.HSNM, err = c.HoldSNM(Vdd); err != nil {
+		return nil, err
+	}
+	if r.RSNM, err = c.ReadSNM(cell.NominalRead(Vdd)); err != nil {
+		return nil, err
+	}
+	if r.WM, err = c.WriteMargin(cell.NominalWrite(Vdd)); err != nil {
+		return nil, err
+	}
+	if r.Leakage, err = c.LeakagePower(Vdd); err != nil {
+		return nil, err
+	}
+	if r.ReadI, err = c.ReadCurrent(cell.NominalRead(Vdd)); err != nil {
+		return nil, err
+	}
+	if r.WriteDelay, err = c.WriteDelay(cell.NominalWrite(Vdd)); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// MonteCarloYield runs a Monte Carlo margin analysis (paper §2/§4: the
+// yield justification for δ = 0.35·Vdd).
+func MonteCarloYield(cfg MCConfig) (*MCResult, error) { return mc.Run(cfg) }
+
+// DesignPoint pairs a design with its evaluated metrics (see ParetoFront).
+type DesignPoint = core.DesignPoint
+
+// ParetoFront returns the full energy-delay frontier of the search space
+// instead of the single EDP optimum: every feasible design no other design
+// beats on both delay and energy, sorted by increasing delay. Use
+// core.KneePoint (via Core()) to pick a balanced point.
+func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
+	return f.core.ParetoFront(opts)
+}
+
+// CornerRow and TempRow are the extension-experiment row types.
+type (
+	CornerRow = exp.CornerRow
+	TempRow   = exp.TempRow
+)
+
+// CornerAnalysis characterizes a cell flavor at all five process corners
+// under explicit assist biases — sign-off of a chosen operating point
+// (extension beyond the paper).
+func CornerAnalysis(flavor Flavor, read ReadBias, write WriteBias) ([]CornerRow, error) {
+	return exp.CornerAnalysis(flavor, read, write)
+}
+
+// TemperatureSweep characterizes a cell flavor across operating
+// temperatures (kelvin) at the given read bias (extension).
+func TemperatureSweep(flavor Flavor, read ReadBias, temps []float64) ([]TempRow, error) {
+	return exp.TemperatureSweep(flavor, read, temps)
+}

@@ -1,0 +1,19 @@
+.title 6T-HVT read access with Vdd boost and negative Gnd
+* Rails: CVDD boosted to 550mV, CVSS at -240mV, WL on, BLs precharged.
+vcvdd cvdd 0 DC 550m
+vcvss cvss 0 DC -240m
+vwl   wl   0 DC 450m
+vbl   bl   0 DC 450m
+vblb  blb  0 DC 450m
+* Left half-cell (stores 0 on q)
+mpu1 q qb cvdd phvt
+mpd1 q qb cvss nhvt
+max1 bl wl q nhvt
+* Right half-cell
+mpu2 qb q cvdd phvt
+mpd2 qb q cvss nhvt
+max2 blb wl qb nhvt
+.ic v(q)=-240m v(qb)=550m
+.op
+.print v(q) v(qb)
+.end
