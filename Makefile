@@ -1,0 +1,26 @@
+# Tier-1 verification gate and developer targets.
+GO ?= go
+
+.PHONY: build test check race-core bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: static analysis plus the full test suite under
+# the race detector. The core search engine is explicitly concurrent — run
+# this before every commit touching internal/core.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# race-core is the fast inner loop: only the search-engine package under the
+# race detector.
+race-core:
+	$(GO) test -race ./internal/core/...
+
+# bench regenerates every paper table/figure metric (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$'

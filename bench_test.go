@@ -150,18 +150,22 @@ func BenchmarkFig7DelayEnergyEDP(b *testing.B) {
 
 // BenchmarkExhaustiveSearch16KB measures the cost of the paper's largest
 // single exhaustive search (16 KB; the paper reports the whole §5 sweep
-// completes in under two minutes on a 2016 server).
+// completes in under two minutes on a 2016 server). The chunks metric shows
+// the (row × VSSC) sharding: parallelism is bounded by chunks, not by the
+// four row candidates.
 func BenchmarkExhaustiveSearch16KB(b *testing.B) {
 	fw := benchFramework(b)
-	var evals int
+	var stats SearchStats
 	for i := 0; i < b.N; i++ {
 		opt, err := fw.Optimize(16*1024, HVT, M2)
 		if err != nil {
 			b.Fatal(err)
 		}
-		evals = opt.Evaluated
+		stats = opt.Stats
 	}
-	b.ReportMetric(float64(evals), "model-evals")
+	b.ReportMetric(float64(stats.Evaluated), "model-evals")
+	b.ReportMetric(float64(stats.Chunks), "chunks")
+	b.ReportMetric(float64(stats.Workers), "workers")
 }
 
 // BenchmarkAblationGreedyVsExhaustive compares the greedy coordinate-descent

@@ -9,10 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sramco/internal/array"
 	"sramco/internal/core"
@@ -49,18 +54,27 @@ func main() {
 		log.Fatalf("unknown mode %q", *modeStr)
 	}
 
+	// Ctrl-C / SIGTERM cancels every worker of the in-flight search.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fw, err := core.NewFramework(mode, core.FrameworkOpts{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	opts := core.Options{CapacityBits: *bytes * 8, Flavor: flavor, Method: method, SearchWLSegs: *dwl}
-	opt, err := fw.Optimize(opts)
+	opt, err := fw.OptimizeContext(ctx, opts)
 	if err != nil {
+		var serr *core.SearchError
+		if errors.As(err, &serr) && errors.Is(err, context.Canceled) {
+			log.Fatalf("search interrupted after %s", serr.Stats)
+		}
 		log.Fatal(err)
 	}
 	d, r := opt.Best.Design, opt.Best.Result
 	fmt.Printf("%s 6T-%v-%v (%s mode): optimum over %d evaluations\n",
 		unit.Bytes(*bytes*8), flavor, method, mode, opt.Evaluated)
+	fmt.Printf("  search: %s\n", opt.Stats)
 	fmt.Printf("  n_r=%d n_c=%d N_pre=%d N_wr=%d VDDC=%s VSSC=%s VWL=%s",
 		d.Geom.NR, d.Geom.NC, d.Geom.Npre, d.Geom.Nwr,
 		unit.Volts(d.VDDC), unit.Volts(d.VSSC), unit.Volts(d.VWL))

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"sramco/internal/wire"
@@ -28,11 +30,19 @@ type BankedOptimum struct {
 	Evaluated int // total model evaluations across bank candidates
 }
 
-// OptimizeBanked searches bank counts 1, 2, …, maxBanks (powers of two),
-// optimizing each bank's internal design with the usual exhaustive search
-// and charging the bank decoder, global wiring and the idle banks' leakage.
-// It returns the bank count minimizing the macro EDP.
+// OptimizeBanked is OptimizeBankedContext without cancellation.
 func (f *Framework) OptimizeBanked(opts Options, maxBanks int) (*BankedOptimum, error) {
+	return f.OptimizeBankedContext(context.Background(), opts, maxBanks)
+}
+
+// OptimizeBankedContext searches bank counts 1, 2, …, maxBanks (powers of
+// two), optimizing each bank's internal design with the usual exhaustive
+// search and charging the bank decoder, global wiring and the idle banks'
+// leakage. It returns the bank count minimizing the macro EDP.
+//
+// Partitionings with an empty feasible region are skipped; a model error or
+// a ctx cancellation aborts the whole sweep.
+func (f *Framework) OptimizeBankedContext(ctx context.Context, opts Options, maxBanks int) (*BankedOptimum, error) {
 	if maxBanks < 1 {
 		return nil, fmt.Errorf("core: maxBanks %d must be ≥ 1", maxBanks)
 	}
@@ -46,14 +56,17 @@ func (f *Framework) OptimizeBanked(opts Options, maxBanks int) (*BankedOptimum, 
 	var best *BankedOptimum
 	evaluated := 0
 	for banks := 1; banks <= maxBanks; banks *= 2 {
-		if opts.CapacityBits%banks != 0 {
+		if opts.CapacityBits%banks != 0 || opts.CapacityBits/banks < 4 {
 			continue
 		}
 		bankOpts := opts
 		bankOpts.CapacityBits = opts.CapacityBits / banks
-		opt, err := f.Optimize(bankOpts)
-		if err != nil {
+		opt, err := f.OptimizeContext(ctx, bankOpts)
+		if errors.Is(err, ErrInfeasible) {
 			continue // this partitioning has no feasible bank organization
+		}
+		if err != nil {
+			return nil, err
 		}
 		evaluated += opt.Evaluated
 		cand := f.assembleBanked(banks, opt.Best, cc.Leak, opts)
@@ -62,7 +75,7 @@ func (f *Framework) OptimizeBanked(opts Options, maxBanks int) (*BankedOptimum, 
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: no feasible banked organization for %d bits", opts.CapacityBits)
+		return nil, fmt.Errorf("core: %w: no banked organization for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
 	best.Evaluated = evaluated
 	return best, nil
@@ -115,7 +128,8 @@ func log2i(n int) int {
 }
 
 // BankSweep evaluates every bank count up to maxBanks (not just the best),
-// for plotting the partitioning trade-off.
+// for plotting the partitioning trade-off. Like OptimizeBankedContext it
+// skips infeasible partitionings but propagates model errors.
 func (f *Framework) BankSweep(opts Options, maxBanks int) ([]BankedOptimum, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
@@ -126,21 +140,24 @@ func (f *Framework) BankSweep(opts Options, maxBanks int) ([]BankedOptimum, erro
 	}
 	var out []BankedOptimum
 	for banks := 1; banks <= maxBanks; banks *= 2 {
-		if opts.CapacityBits%banks != 0 {
+		if opts.CapacityBits%banks != 0 || opts.CapacityBits/banks < 4 {
 			continue
 		}
 		bankOpts := opts
 		bankOpts.CapacityBits = opts.CapacityBits / banks
 		opt, err := f.Optimize(bankOpts)
-		if err != nil {
+		if errors.Is(err, ErrInfeasible) {
 			continue
+		}
+		if err != nil {
+			return nil, err
 		}
 		cand := f.assembleBanked(banks, opt.Best, cc.Leak, opts)
 		cand.Evaluated = opt.Evaluated
 		out = append(out, *cand)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("core: no feasible banked organization for %d bits", opts.CapacityBits)
+		return nil, fmt.Errorf("core: %w: no banked organization for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
 	return out, nil
 }

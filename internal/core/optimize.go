@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+	"time"
 
 	"sramco/internal/array"
 	"sramco/internal/device"
@@ -71,7 +71,12 @@ type Options struct {
 	// (1/2/4/8 segments) — an architecture extension beyond the paper's
 	// flat wordline. Most effective under the AllColumns energy
 	// accounting, where segmentation cuts the per-access bitline disturb.
+	// Both the exhaustive and the greedy searcher honor it.
 	SearchWLSegs bool
+
+	// evalHook replaces array.Evaluate in tests (error injection,
+	// search-space tracing). nil selects the real model.
+	evalHook evalFunc
 }
 
 func (o *Options) normalize() error {
@@ -102,11 +107,13 @@ type DesignPoint struct {
 	Result *array.Result
 }
 
-// Optimum is the outcome of a search.
+// Optimum is the outcome of a search. Evaluated and Skipped mirror
+// Stats.Evaluated and Stats.SkippedTotal().
 type Optimum struct {
 	Best      DesignPoint
 	Evaluated int // model evaluations performed
 	Skipped   int // candidate points rejected by constraints
+	Stats     SearchStats
 }
 
 // Rails returns the rail voltages (VDDC, VWL) the method assigns before the
@@ -130,156 +137,31 @@ func (f *Framework) Rails(flavor device.Flavor, m Method) (vddc, vwl float64, er
 
 // Optimize exhaustively searches (V_SSC, n_r, N_pre, N_wr) for the design
 // minimizing the objective under the yield constraint, with VDDC/VWL pinned
-// by the method. The search parallelizes across row-count candidates.
+// by the method. It is OptimizeContext without cancellation; see there for
+// the sharding and determinism guarantees.
 func (f *Framework) Optimize(opts Options) (*Optimum, error) {
-	if err := opts.normalize(); err != nil {
-		return nil, err
-	}
-	tech, err := f.ArrayTech(opts.Flavor)
-	if err != nil {
-		return nil, err
-	}
-	cc := f.Cells[opts.Flavor]
-	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
-	if err != nil {
-		return nil, err
-	}
-	// Yield feasibility that does not depend on the searched variables:
-	// HSNM at nominal and WM at VWL* are met by construction of the starred
-	// rails; HSNM is checked here.
-	if cc.HSNM < f.Delta {
-		return nil, fmt.Errorf("core: 6T-%v HSNM %.3f below δ=%.3f at Vdd=%.3f", opts.Flavor, cc.HSNM, f.Delta, f.Vdd)
-	}
-
-	// VSSC candidates.
-	var vsscs []float64
-	if opts.Method == M1 {
-		vsscs = []float64{0}
-	} else {
-		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
-			vsscs = append(vsscs, v)
-		}
-	}
-
-	// Row-count candidates: powers of two with integral n_c within bounds.
-	type rowCand struct{ nr, nc int }
-	var rows []rowCand
-	for nr := 2; nr <= opts.Space.NRMax; nr *= 2 {
-		if opts.CapacityBits%nr != 0 {
-			continue
-		}
-		nc := opts.CapacityBits / nr
-		if nc < 1 || nc > opts.Space.NCMax {
-			continue
-		}
-		rows = append(rows, rowCand{nr, nc})
-	}
-	if len(rows) == 0 {
-		return nil, fmt.Errorf("core: no feasible organization for %d bits within the search space", opts.CapacityBits)
-	}
-
-	type work struct{ rc rowCand }
-	jobs := make(chan work, len(rows))
-	for _, rc := range rows {
-		jobs <- work{rc}
-	}
-	close(jobs)
-
-	var (
-		mu   sync.Mutex
-		best *DesignPoint
-		obj  = math.Inf(1)
-		eval int
-		skip int
-	)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
-	}
-	errs := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			localBest, localObj := (*DesignPoint)(nil), math.Inf(1)
-			localEval, localSkip := 0, 0
-			for job := range jobs {
-				nr, nc := job.rc.nr, job.rc.nc
-				width := opts.W
-				if nc < width {
-					width = nc // narrow arrays access one full row (Table 4's 128 B case)
-				}
-				segsCands := []int{1}
-				if opts.SearchWLSegs {
-					for s := 2; s <= 8 && nc/s >= width; s *= 2 {
-						segsCands = append(segsCands, s)
-					}
-				}
-				for _, vssc := range vsscs {
-					// Read-stability feasibility across the VSSC sweep.
-					if cc.RSNMAt(vssc) < f.Delta-1e-9 {
-						localSkip += opts.Space.NpreMax * opts.Space.NwrMax * len(segsCands)
-						continue
-					}
-					for _, segs := range segsCands {
-						for npre := 1; npre <= opts.Space.NpreMax; npre++ {
-							for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
-								d := array.Design{
-									Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs},
-									VDDC: vddc, VSSC: vssc, VWL: vwl,
-								}
-								if d.Geom.Validate() != nil {
-									localSkip++
-									continue
-								}
-								r, err := array.Evaluate(tech, d, opts.Activity)
-								if err != nil {
-									errs <- err
-									return
-								}
-								localEval++
-								if !r.RailsSettleInTime {
-									localSkip++
-									continue
-								}
-								if v := opts.Objective(r); v < localObj {
-									localObj = v
-									localBest = &DesignPoint{Design: d, Result: r}
-								}
-							}
-						}
-					}
-				}
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			eval += localEval
-			skip += localSkip
-			if localBest != nil && localObj < obj {
-				obj = localObj
-				best = localBest
-			}
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	if err := <-errs; err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return nil, fmt.Errorf("core: no feasible design for %d bits (all %d candidates rejected)", opts.CapacityBits, skip)
-	}
-	return &Optimum{Best: *best, Evaluated: eval, Skipped: skip}, nil
+	return f.OptimizeContext(context.Background(), opts)
 }
 
-// GreedyOptimize is the coordinate-descent ablation searcher: starting from
-// a balanced square-ish organization with minimum fins and no negative Gnd,
-// it repeatedly sweeps one variable at a time (n_r, V_SSC, N_pre, N_wr)
-// keeping the others fixed, until no single-variable move improves the
-// objective. It typically needs orders of magnitude fewer evaluations than
-// the exhaustive search but may land in a local minimum.
+// GreedyOptimize is the coordinate-descent ablation searcher without
+// cancellation; see GreedyOptimizeContext.
 func (f *Framework) GreedyOptimize(opts Options) (*Optimum, error) {
+	return f.GreedyOptimizeContext(context.Background(), opts)
+}
+
+// GreedyOptimizeContext is the coordinate-descent ablation searcher:
+// starting from a balanced square-ish organization with minimum fins and no
+// negative Gnd, it repeatedly sweeps one variable at a time (n_r, V_SSC,
+// wordline segmentation when enabled, N_pre, N_wr) keeping the others fixed,
+// until no single-variable move improves the objective. It typically needs
+// orders of magnitude fewer evaluations than the exhaustive search but may
+// land in a local minimum.
+//
+// A model-evaluation error aborts the search and is propagated (wrapped in a
+// *SearchError carrying the counts so far), as is a ctx cancellation;
+// infeasible points are merely skipped.
+func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*Optimum, error) {
+	start := time.Now()
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -292,54 +174,65 @@ func (f *Framework) GreedyOptimize(opts Options) (*Optimum, error) {
 	if err != nil {
 		return nil, err
 	}
+	eval := opts.evalHook
+	if eval == nil {
+		eval = array.Evaluate
+	}
 
-	evalCount, skip := 0, 0
-	evalAt := func(nr, vssc float64, npre, nwr int) (*array.Result, bool) {
-		nrI := int(nr)
+	var stats SearchStats
+	// evalAt returns (nil, nil) for points outside the space or failing a
+	// constraint, and a non-nil error only for cancellation or a genuine
+	// model failure — which must surface, not masquerade as infeasibility.
+	evalAt := func(nrI int, vssc float64, segs, npre, nwr int) (*array.Result, error) {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
 		if nrI < 2 || nrI > opts.Space.NRMax || opts.CapacityBits%nrI != 0 {
-			return nil, false
+			return nil, nil
 		}
 		nc := opts.CapacityBits / nrI
 		if nc < 1 || nc > opts.Space.NCMax {
-			return nil, false
+			return nil, nil
 		}
-		width := opts.W
-		if nc < width {
-			width = nc
+		width := accessWidth(opts.W, nc)
+		if segs > 1 && nc/segs < width {
+			return nil, nil
 		}
 		if cc.RSNMAt(vssc) < f.Delta-1e-9 {
-			skip++
-			return nil, false
+			stats.SkippedRSNM++
+			return nil, nil
 		}
 		d := array.Design{
-			Geom: wire.Geometry{NR: nrI, NC: nc, W: width, Npre: npre, Nwr: nwr},
+			Geom: wire.Geometry{NR: nrI, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs},
 			VDDC: vddc, VSSC: vssc, VWL: vwl,
 		}
 		if d.Geom.Validate() != nil {
-			return nil, false
+			stats.SkippedGeom++
+			return nil, nil
 		}
-		r, err2 := array.Evaluate(tech, d, opts.Activity)
-		if err2 != nil {
-			return nil, false
+		r, err := eval(tech, d, opts.Activity)
+		if err != nil {
+			return nil, fmt.Errorf("core: greedy evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w", nrI, npre, nwr, vssc, err)
 		}
-		evalCount++
+		stats.Evaluated++
 		if !r.RailsSettleInTime {
-			skip++
-			return nil, false
+			stats.SkippedRails++
+			return nil, nil
 		}
-		return r, true
+		return r, nil
 	}
 
-	// Start: square-ish organization, no assists beyond the pinned rails.
+	// Start: square-ish organization, flat wordline, no assists beyond the
+	// pinned rails.
 	nr := 2
 	for nr*nr < opts.CapacityBits && nr < opts.Space.NRMax {
 		nr *= 2
 	}
-	vssc, npre, nwr := 0.0, 1, 1
+	vssc, segs, npre, nwr := 0.0, 1, 1, 1
 	var bestR *array.Result
 	var bestD array.Design
 	bestObj := math.Inf(1)
-	improve := func(r *array.Result, nrI int, vs float64, np, nw int) bool {
+	improve := func(r *array.Result, nrI int, vs float64, sg, np, nw int) bool {
 		if r == nil {
 			return false
 		}
@@ -347,45 +240,70 @@ func (f *Framework) GreedyOptimize(opts Options) (*Optimum, error) {
 			bestObj = v
 			bestR = r
 			bestD = r.Design
-			nr, vssc, npre, nwr = nrI, vs, np, nw
+			nr, vssc, segs, npre, nwr = nrI, vs, sg, np, nw
 			return true
 		}
 		return false
 	}
-	if r, ok := evalAt(float64(nr), vssc, npre, nwr); ok {
-		improve(r, nr, vssc, npre, nwr)
+	r, err := evalAt(nr, vssc, segs, npre, nwr)
+	if err != nil {
+		return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}
 	}
+	improve(r, nr, vssc, segs, npre, nwr)
 	for pass := 0; pass < 20; pass++ {
 		changed := false
 		for cand := 2; cand <= opts.Space.NRMax; cand *= 2 {
-			if r, ok := evalAt(float64(cand), vssc, npre, nwr); ok {
-				changed = improve(r, cand, vssc, npre, nwr) || changed
+			r, err := evalAt(cand, vssc, segs, npre, nwr)
+			if err != nil {
+				return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}
 			}
+			changed = improve(r, cand, vssc, segs, npre, nwr) || changed
 		}
 		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
 			if opts.Method == M1 && v != 0 {
 				break
 			}
-			if r, ok := evalAt(float64(nr), v, npre, nwr); ok {
-				changed = improve(r, nr, v, npre, nwr) || changed
+			r, err := evalAt(nr, v, segs, npre, nwr)
+			if err != nil {
+				return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}
+			}
+			changed = improve(r, nr, v, segs, npre, nwr) || changed
+		}
+		if opts.SearchWLSegs {
+			for sg := 1; sg <= 8; sg *= 2 {
+				r, err := evalAt(nr, vssc, sg, npre, nwr)
+				if err != nil {
+					return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}
+				}
+				changed = improve(r, nr, vssc, sg, npre, nwr) || changed
 			}
 		}
 		for np := 1; np <= opts.Space.NpreMax; np++ {
-			if r, ok := evalAt(float64(nr), vssc, np, nwr); ok {
-				changed = improve(r, nr, vssc, np, nwr) || changed
+			r, err := evalAt(nr, vssc, segs, np, nwr)
+			if err != nil {
+				return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}
 			}
+			changed = improve(r, nr, vssc, segs, np, nwr) || changed
 		}
 		for nw := 1; nw <= opts.Space.NwrMax; nw++ {
-			if r, ok := evalAt(float64(nr), vssc, npre, nw); ok {
-				changed = improve(r, nr, vssc, npre, nw) || changed
+			r, err := evalAt(nr, vssc, segs, npre, nw)
+			if err != nil {
+				return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}
 			}
+			changed = improve(r, nr, vssc, segs, npre, nw) || changed
 		}
 		if !changed {
 			break
 		}
 	}
+	stats = finishStats(stats, start, 1)
 	if bestR == nil {
-		return nil, fmt.Errorf("core: greedy search found no feasible design for %d bits", opts.CapacityBits)
+		return nil, fmt.Errorf("core: greedy search: %w for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
-	return &Optimum{Best: DesignPoint{Design: bestD, Result: bestR}, Evaluated: evalCount, Skipped: skip}, nil
+	return &Optimum{
+		Best:      DesignPoint{Design: bestD, Result: bestR},
+		Evaluated: stats.Evaluated,
+		Skipped:   stats.SkippedTotal(),
+		Stats:     stats,
+	}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,15 +12,24 @@ import (
 	"sramco/internal/wire"
 )
 
-// ParetoFront exhaustively enumerates the same search space as Optimize but
-// returns the full energy-delay Pareto frontier instead of the single
-// minimum-EDP point: every feasible design for which no other feasible
-// design is both faster and lower-energy. Points are returned sorted by
-// increasing delay (hence decreasing energy).
+// ParetoFront is ParetoFrontContext without cancellation.
+func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
+	return f.ParetoFrontContext(context.Background(), opts)
+}
+
+// ParetoFrontContext exhaustively enumerates the same search space as
+// Optimize (flat wordlines only) but returns the full energy-delay Pareto
+// frontier instead of the single minimum-EDP point: every feasible design
+// for which no other feasible design is both faster and lower-energy. Points
+// are returned sorted by increasing delay (hence decreasing energy).
 //
 // The frontier exposes the trade-off the EDP scalarization hides — e.g. how
 // much energy a delay-critical cache bank must pay to match LVT speed.
-func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
+//
+// Like OptimizeContext the sweep shards (row × VSSC) chunks over workers,
+// cancels on the first model error or ctx cancellation, and resolves metric
+// ties canonically so the returned frontier is deterministic.
+func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]DesignPoint, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -32,75 +42,77 @@ func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	eval := opts.evalHook
+	if eval == nil {
+		eval = array.Evaluate
+	}
 
-	var vsscs []float64
-	if opts.Method == M1 {
-		vsscs = []float64{0}
-	} else {
-		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
-			vsscs = append(vsscs, v)
-		}
-	}
-	type rowCand struct{ nr, nc int }
-	var rows []rowCand
-	for nr := 2; nr <= opts.Space.NRMax; nr *= 2 {
-		if opts.CapacityBits%nr != 0 {
-			continue
-		}
-		nc := opts.CapacityBits / nr
-		if nc >= 1 && nc <= opts.Space.NCMax {
-			rows = append(rows, rowCand{nr, nc})
-		}
-	}
+	rows := rowCandidates(opts.CapacityBits, opts.Space)
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("core: no feasible organization for %d bits", opts.CapacityBits)
+		return nil, fmt.Errorf("core: %w: no feasible organization for %d bits", ErrInfeasible, opts.CapacityBits)
+	}
+	var feasVSSC []float64
+	for _, v := range vsscCandidates(opts.Method, opts.Space) {
+		if cc.RSNMAt(v) >= f.Delta-1e-9 {
+			feasVSSC = append(feasVSSC, v)
+		}
+	}
+	var chunks []chunk
+	for _, rc := range rows {
+		for _, vssc := range feasVSSC {
+			chunks = append(chunks, chunk{rc: rc, vssc: vssc})
+		}
+	}
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("core: %w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
 
-	jobs := make(chan rowCand, len(rows))
-	for _, rc := range rows {
-		jobs <- rc
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	jobs := make(chan chunk, len(chunks))
+	for _, c := range chunks {
+		jobs <- c
 	}
 	close(jobs)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(rows) {
-		workers = len(rows)
-	}
+
 	fronts := make([][]DesignPoint, workers)
-	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var local []DesignPoint
-			for rc := range jobs {
-				width := opts.W
-				if rc.nc < width {
-					width = rc.nc
+			for c := range jobs {
+				if sctx.Err() != nil {
+					return
 				}
-				for _, vssc := range vsscs {
-					if cc.RSNMAt(vssc) < f.Delta-1e-9 {
-						continue
+				width := accessWidth(opts.W, c.rc.nc)
+				for npre := 1; npre <= opts.Space.NpreMax; npre++ {
+					if sctx.Err() != nil {
+						return
 					}
-					for npre := 1; npre <= opts.Space.NpreMax; npre++ {
-						for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
-							d := array.Design{
-								Geom: wire.Geometry{NR: rc.nr, NC: rc.nc, W: width, Npre: npre, Nwr: nwr},
-								VDDC: vddc, VSSC: vssc, VWL: vwl,
-							}
-							if d.Geom.Validate() != nil {
-								continue
-							}
-							r, err := array.Evaluate(tech, d, opts.Activity)
-							if err != nil {
-								errCh <- err
-								return
-							}
-							if !r.RailsSettleInTime {
-								continue
-							}
-							local = insertPareto(local, DesignPoint{Design: d, Result: r})
+					for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
+						d := array.Design{
+							Geom: wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width, Npre: npre, Nwr: nwr},
+							VDDC: vddc, VSSC: c.vssc, VWL: vwl,
 						}
+						if d.Geom.Validate() != nil {
+							continue
+						}
+						r, err := eval(tech, d, opts.Activity)
+						if err != nil {
+							cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+								c.rc.nr, npre, nwr, c.vssc, err))
+							return
+						}
+						if !r.RailsSettleInTime {
+							continue
+						}
+						local = insertPareto(local, DesignPoint{Design: d, Result: r})
 					}
 				}
 			}
@@ -108,38 +120,63 @@ func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
 		}(w)
 	}
 	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	if cause := context.Cause(sctx); cause != nil {
+		return nil, cause
 	}
-	var merged []DesignPoint
+
+	// Deterministic merge: a globally non-dominated point survives every
+	// worker-local reduction, so the union of local fronts contains the
+	// global frontier regardless of how chunks were distributed. Inserting
+	// the union in canonical design order makes metric ties order-free too.
+	var candidates []DesignPoint
 	for _, fr := range fronts {
-		for _, p := range fr {
-			merged = insertPareto(merged, p)
-		}
+		candidates = append(candidates, fr...)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return designLess(candidates[i].Design, candidates[j].Design)
+	})
+	var merged []DesignPoint
+	for _, p := range candidates {
+		merged = insertPareto(merged, p)
 	}
 	if len(merged) == 0 {
-		return nil, fmt.Errorf("core: empty Pareto front for %d bits", opts.CapacityBits)
+		return nil, fmt.Errorf("core: %w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
 	sort.Slice(merged, func(i, j int) bool {
-		return merged[i].Result.DArray < merged[j].Result.DArray
+		di, dj := merged[i].Result, merged[j].Result
+		if di.DArray != dj.DArray {
+			return di.DArray < dj.DArray
+		}
+		if di.EArray != dj.EArray {
+			return di.EArray < dj.EArray
+		}
+		return designLess(merged[i].Design, merged[j].Design)
 	})
 	return merged, nil
 }
 
 // insertPareto inserts p into a non-dominated set, dropping p if dominated
 // and evicting any points p dominates. Domination is on (DArray, EArray),
-// minimizing both.
+// minimizing both; exact metric ties keep the canonically smaller design so
+// the front does not depend on insertion order.
 func insertPareto(front []DesignPoint, p DesignPoint) []DesignPoint {
 	pd, pe := p.Result.DArray, p.Result.EArray
-	keep := front[:0]
-	for _, q := range front {
+	for i, q := range front {
 		qd, qe := q.Result.DArray, q.Result.EArray
-		if qd <= pd && qe <= pe {
-			// q dominates (or equals) p: keep the existing front unchanged.
+		if qd == pd && qe == pe {
+			if designLess(p.Design, q.Design) {
+				front[i] = p
+			}
 			return front
 		}
-		if !(pd <= qd && pe <= qe) {
+		if qd <= pd && qe <= pe {
+			// q dominates p: keep the existing front unchanged.
+			return front
+		}
+	}
+	keep := front[:0]
+	for _, q := range front {
+		if !(pd <= q.Result.DArray && pe <= q.Result.EArray) {
 			keep = append(keep, q)
 		}
 	}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"sramco/internal/array"
+	"sramco/internal/wire"
+)
+
+// evalFunc matches array.Evaluate; Options.evalHook substitutes it in tests
+// to inject model errors and observe the explored space.
+type evalFunc func(*array.Tech, array.Design, array.Activity) (*array.Result, error)
+
+// rowCand is one feasible array organization: a power-of-two row count with
+// an integral column count inside the search space.
+type rowCand struct{ nr, nc int }
+
+// chunk is one shard of the exhaustive search: a single (row organization,
+// VSSC level) pair. Sharding on the cross product instead of row counts
+// alone keeps every core busy — a 16 KB capacity has only four row
+// candidates but ~100 chunks.
+type chunk struct {
+	rc   rowCand
+	vssc float64
+}
+
+// vsscCandidates enumerates the negative-Gnd sweep (a single zero level
+// under M1).
+func vsscCandidates(m Method, s SearchSpace) []float64 {
+	if m == M1 {
+		return []float64{0}
+	}
+	var out []float64
+	for v := 0.0; v >= s.VSSCMin-1e-9; v -= s.VSSCStep {
+		out = append(out, v)
+	}
+	return out
+}
+
+// rowCandidates enumerates the power-of-two organizations of a capacity
+// within the search space, in increasing row count.
+func rowCandidates(capacityBits int, s SearchSpace) []rowCand {
+	var rows []rowCand
+	for nr := 2; nr <= s.NRMax; nr *= 2 {
+		if capacityBits%nr != 0 {
+			continue
+		}
+		nc := capacityBits / nr
+		if nc < 1 || nc > s.NCMax {
+			continue
+		}
+		rows = append(rows, rowCand{nr, nc})
+	}
+	return rows
+}
+
+// segCandidates enumerates the wordline segmentations searched for one
+// organization: flat only, plus 2/4/8 segments wide enough for the access
+// width when divided-wordline search is enabled.
+func segCandidates(opts *Options, nc, width int) []int {
+	segs := []int{1}
+	if opts.SearchWLSegs {
+		for s := 2; s <= 8 && nc/s >= width; s *= 2 {
+			segs = append(segs, s)
+		}
+	}
+	return segs
+}
+
+// accessWidth clamps the access width to the column count (narrow arrays
+// access one full row — Table 4's 128 B case).
+func accessWidth(w, nc int) int {
+	if nc < w {
+		return nc
+	}
+	return w
+}
+
+// designLess is the total order on design tuples used to break objective
+// ties, making the parallel reduction deterministic: prefer fewer rows, then
+// the weaker (less negative) Gnd assist, then fewer wordline segments, then
+// fewer precharger fins, then fewer write-buffer fins.
+func designLess(a, b array.Design) bool {
+	if a.Geom.NR != b.Geom.NR {
+		return a.Geom.NR < b.Geom.NR
+	}
+	if a.VSSC != b.VSSC {
+		return a.VSSC > b.VSSC
+	}
+	if as, bs := a.Geom.Segments(), b.Geom.Segments(); as != bs {
+		return as < bs
+	}
+	if a.Geom.Npre != b.Geom.Npre {
+		return a.Geom.Npre < b.Geom.Npre
+	}
+	return a.Geom.Nwr < b.Geom.Nwr
+}
+
+// betterPoint reports whether the candidate beats the incumbent: strictly
+// lower objective, or an equal objective with a canonically smaller design
+// tuple. The comparison is a total order, so folding points in any order —
+// any worker count, any scheduling — reaches the same minimum.
+func betterPoint(cand *DesignPoint, candObj float64, inc *DesignPoint, incObj float64) bool {
+	if inc == nil {
+		return true
+	}
+	if candObj != incObj {
+		return candObj < incObj
+	}
+	return designLess(cand.Design, inc.Design)
+}
+
+// searchWorker accumulates one worker's partial view of the search.
+type searchWorker struct {
+	best  *DesignPoint
+	obj   float64
+	stats SearchStats // Evaluated / SkippedGeom / SkippedRails only
+	err   error
+}
+
+// OptimizeContext is Optimize with cancellation: the search stops at the
+// first model error or when ctx is done, whichever comes first, and the
+// returned *SearchError carries the counts accumulated by every worker up to
+// the abort together with the causal error.
+//
+// The search shards (row organization × VSSC) chunks over GOMAXPROCS
+// workers and reduces worker-local optima with a total order (objective,
+// then the design tuple), so the returned Optimum — design, result and
+// counts — is bit-identical for any GOMAXPROCS.
+func (f *Framework) OptimizeContext(ctx context.Context, opts Options) (*Optimum, error) {
+	start := time.Now()
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	tech, err := f.ArrayTech(opts.Flavor)
+	if err != nil {
+		return nil, err
+	}
+	cc := f.Cells[opts.Flavor]
+	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
+	if err != nil {
+		return nil, err
+	}
+	// Yield feasibility that does not depend on the searched variables:
+	// HSNM at nominal and WM at VWL* are met by construction of the starred
+	// rails; HSNM is checked here.
+	if cc.HSNM < f.Delta {
+		return nil, fmt.Errorf("core: 6T-%v HSNM %.3f below δ=%.3f at Vdd=%.3f", opts.Flavor, cc.HSNM, f.Delta, f.Vdd)
+	}
+	eval := opts.evalHook
+	if eval == nil {
+		eval = array.Evaluate
+	}
+
+	rows := rowCandidates(opts.CapacityBits, opts.Space)
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: %w: no feasible organization for %d bits within the search space", ErrInfeasible, opts.CapacityBits)
+	}
+
+	var stats SearchStats
+	// Read-stability feasibility depends on VSSC alone: prune infeasible
+	// sweep levels once, up front, instead of per worker per row.
+	var feasVSSC []float64
+	for _, v := range vsscCandidates(opts.Method, opts.Space) {
+		if cc.RSNMAt(v) < f.Delta-1e-9 {
+			stats.PrunedVSSC++
+			continue
+		}
+		feasVSSC = append(feasVSSC, v)
+	}
+	if stats.PrunedVSSC > 0 {
+		for _, rc := range rows {
+			width := accessWidth(opts.W, rc.nc)
+			stats.SkippedRSNM += stats.PrunedVSSC * len(segCandidates(&opts, rc.nc, width)) *
+				opts.Space.NpreMax * opts.Space.NwrMax
+		}
+	}
+	if len(feasVSSC) == 0 {
+		return nil, &SearchError{
+			Stats: finishStats(stats, start, 0),
+			Cause: fmt.Errorf("%w: every VSSC level fails the read-stability constraint", ErrInfeasible),
+		}
+	}
+
+	chunks := make([]chunk, 0, len(rows)*len(feasVSSC))
+	for _, rc := range rows {
+		for _, vssc := range feasVSSC {
+			chunks = append(chunks, chunk{rc: rc, vssc: vssc})
+		}
+	}
+	stats.Chunks = len(chunks)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	jobs := make(chan chunk, len(chunks))
+	for _, c := range chunks {
+		jobs <- c
+	}
+	close(jobs)
+
+	slots := make([]searchWorker, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot *searchWorker) {
+			defer wg.Done()
+			slot.obj = math.Inf(1)
+			for c := range jobs {
+				if sctx.Err() != nil {
+					return
+				}
+				nr, nc := c.rc.nr, c.rc.nc
+				width := accessWidth(opts.W, nc)
+				for _, segs := range segCandidates(&opts, nc, width) {
+					for npre := 1; npre <= opts.Space.NpreMax; npre++ {
+						if sctx.Err() != nil {
+							return
+						}
+						for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
+							d := array.Design{
+								Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs},
+								VDDC: vddc, VSSC: c.vssc, VWL: vwl,
+							}
+							if d.Geom.Validate() != nil {
+								slot.stats.SkippedGeom++
+								continue
+							}
+							r, err := eval(tech, d, opts.Activity)
+							if err != nil {
+								slot.err = fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+									nr, nc, npre, nwr, c.vssc, err)
+								cancel(slot.err)
+								return
+							}
+							slot.stats.Evaluated++
+							if !r.RailsSettleInTime {
+								slot.stats.SkippedRails++
+								continue
+							}
+							// Allocate the candidate point only when it wins,
+							// keeping the hot loop free of per-point garbage.
+							if v := opts.Objective(r); slot.best == nil || v < slot.obj ||
+								(v == slot.obj && designLess(d, slot.best.Design)) {
+								slot.best, slot.obj = &DesignPoint{Design: d, Result: r}, v
+							}
+						}
+					}
+				}
+			}
+		}(&slots[w])
+	}
+	wg.Wait()
+
+	var best *DesignPoint
+	obj := math.Inf(1)
+	for i := range slots {
+		stats.addWorker(slots[i].stats)
+		if slots[i].best != nil && betterPoint(slots[i].best, slots[i].obj, best, obj) {
+			best, obj = slots[i].best, slots[i].obj
+		}
+	}
+	stats = finishStats(stats, start, workers)
+
+	if cause := context.Cause(sctx); cause != nil {
+		return nil, &SearchError{Stats: stats, Cause: cause}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: %w for %d bits (all %d candidates rejected)",
+			ErrInfeasible, opts.CapacityBits, stats.SkippedTotal())
+	}
+	return &Optimum{Best: *best, Evaluated: stats.Evaluated, Skipped: stats.SkippedTotal(), Stats: stats}, nil
+}
+
+func finishStats(s SearchStats, start time.Time, workers int) SearchStats {
+	s.Workers = workers
+	s.Wall = time.Since(start)
+	return s
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"sramco/internal/array"
+	"sramco/internal/device"
+	"sramco/internal/wire"
+)
+
+func wireGeom(nr, nc, segs, npre, nwr int) wire.Geometry {
+	return wire.Geometry{NR: nr, NC: nc, W: 64, Npre: npre, Nwr: nwr, WLSegs: segs}
+}
+
+// normalizeOptimum zeroes the environmental stats fields (wall time, worker
+// count) so the rest of the Optimum can be compared bit-for-bit.
+func normalizeOptimum(o *Optimum) Optimum {
+	n := *o
+	n.Stats.Wall = 0
+	n.Stats.Workers = 0
+	return n
+}
+
+// TestOptimizeDeterministicAcrossGOMAXPROCS is the acceptance gate for the
+// deterministic reduction: the 4 KB HVT/M2 search must return a
+// bit-identical Optimum — design, result and counts — for any worker count,
+// and across repeated runs.
+func TestOptimizeDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	f := paperFramework(t)
+	opts := Options{CapacityBits: 4 * 1024 * 8, Flavor: device.HVT, Method: M2}
+	var ref Optimum
+	for i, procs := range []int{1, 2, 8, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		opt, err := f.Optimize(opts)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		got := normalizeOptimum(opt)
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("GOMAXPROCS=%d run %d: Optimum differs from GOMAXPROCS=1 baseline:\n  base %+v\n  got  %+v",
+				procs, i, ref.Best.Design, got.Best.Design)
+		}
+	}
+}
+
+// TestOptimizeTieBreakOnObjectiveTies forces every feasible point to tie and
+// checks the winner is schedule-independent.
+func TestOptimizeTieBreakOnObjectiveTies(t *testing.T) {
+	f := paperFramework(t)
+	opts := Options{
+		CapacityBits: 4096,
+		Flavor:       device.HVT,
+		Method:       M2,
+		Space:        SearchSpace{VSSCMin: -0.04, VSSCStep: 0.02, NRMax: 1024, NCMax: 1024, NpreMax: 4, NwrMax: 3},
+		Objective:    func(*array.Result) float64 { return 1 },
+	}
+	var ref Optimum
+	for i, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		opt, err := f.Optimize(opts)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		got := normalizeOptimum(opt)
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("all-ties search is schedule-dependent: %+v vs %+v", ref.Best.Design, got.Best.Design)
+		}
+	}
+	// With every objective equal, no feasible design may precede the winner
+	// in the canonical order within its own (row, VSSC) block.
+	d := ref.Best.Design
+	if d.Geom.Npre != 1 || d.Geom.Nwr != 1 {
+		// Npre/Nwr do not affect feasibility gates ahead of evaluation, so
+		// the canonical minimum of a tied block always has 1/1 fins.
+		t.Errorf("tie-break winner has N_pre=%d N_wr=%d, want the canonical 1/1", d.Geom.Npre, d.Geom.Nwr)
+	}
+}
+
+func TestBetterPointTotalOrder(t *testing.T) {
+	mk := func(nr, nc, segs, npre, nwr int, vssc float64) *DesignPoint {
+		return &DesignPoint{Design: array.Design{
+			Geom: wireGeom(nr, nc, segs, npre, nwr),
+			VSSC: vssc,
+		}}
+	}
+	a := mk(32, 1024, 1, 1, 1, 0)
+	b := mk(64, 512, 1, 1, 1, 0)
+	if !betterPoint(a, 1, b, 2) {
+		t.Error("lower objective must win regardless of design order")
+	}
+	if betterPoint(b, 2, a, 1) {
+		t.Error("higher objective must lose")
+	}
+	// Ties: fewer rows first.
+	if !betterPoint(a, 1, b, 1) || betterPoint(b, 1, a, 1) {
+		t.Error("tie must prefer fewer rows")
+	}
+	// Ties at equal rows: weaker (less negative) VSSC first.
+	c := mk(32, 1024, 1, 1, 1, -0.05)
+	if !betterPoint(a, 1, c, 1) || betterPoint(c, 1, a, 1) {
+		t.Error("tie must prefer the weaker VSSC assist")
+	}
+	// Then fewer segments, fewer Npre, fewer Nwr.
+	for _, pair := range [][2]*DesignPoint{
+		{mk(32, 1024, 1, 5, 5, 0), mk(32, 1024, 2, 1, 1, 0)},
+		{mk(32, 1024, 1, 1, 9, 0), mk(32, 1024, 1, 2, 1, 0)},
+		{mk(32, 1024, 1, 1, 1, 0), mk(32, 1024, 1, 1, 2, 0)},
+	} {
+		if !betterPoint(pair[0], 1, pair[1], 1) || betterPoint(pair[1], 1, pair[0], 1) {
+			t.Errorf("tie order violated for %+v vs %+v", pair[0].Design.Geom, pair[1].Design.Geom)
+		}
+		if !designLess(pair[0].Design, pair[1].Design) || designLess(pair[1].Design, pair[0].Design) {
+			t.Errorf("designLess not a strict order for %+v vs %+v", pair[0].Design.Geom, pair[1].Design.Geom)
+		}
+	}
+	// A nil incumbent always loses.
+	if !betterPoint(a, math.Inf(1), nil, math.Inf(1)) {
+		t.Error("first candidate must beat the nil incumbent")
+	}
+}
+
+// TestOptimizeErrorCancelsWithAccurateCounts injects a model error mid-search
+// and checks the search aborts with the causal error and with Evaluated
+// equal to the number of evaluations that actually succeeded — including
+// those of workers that were cancelled rather than erroring themselves.
+func TestOptimizeErrorCancelsWithAccurateCounts(t *testing.T) {
+	f := paperFramework(t)
+	sentinel := errors.New("injected model failure")
+	var calls, successes atomic.Int64
+	opts := Options{
+		CapacityBits: 4 * 1024 * 8,
+		Flavor:       device.HVT,
+		Method:       M2,
+		Space:        SearchSpace{VSSCMin: -0.240, VSSCStep: 0.010, NRMax: 1024, NCMax: 1024, NpreMax: 10, NwrMax: 10},
+		evalHook: func(tech *array.Tech, d array.Design, act array.Activity) (*array.Result, error) {
+			if calls.Add(1) > 50 {
+				return nil, sentinel
+			}
+			r, err := array.Evaluate(tech, d, act)
+			if err == nil {
+				successes.Add(1)
+			}
+			return r, err
+		},
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	_, err := f.Optimize(opts)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Optimize error = %v, want the injected sentinel", err)
+	}
+	var serr *SearchError
+	if !errors.As(err, &serr) {
+		t.Fatalf("Optimize error %T does not carry SearchStats", err)
+	}
+	if got, want := serr.Stats.Evaluated, int(successes.Load()); got != want {
+		t.Errorf("aborted search reports %d evaluations, %d actually succeeded", got, want)
+	}
+	full := 6 * 25 * 10 * 10 // rows × VSSC levels × Npre × Nwr
+	if serr.Stats.Evaluated >= full {
+		t.Errorf("search ran to completion (%d evals) despite the error", serr.Stats.Evaluated)
+	}
+}
+
+func TestOptimizePreCancelledContext(t *testing.T) {
+	f := paperFramework(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := f.OptimizeContext(ctx, Options{CapacityBits: 4 * 1024 * 8, Flavor: device.HVT, Method: M2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	var serr *SearchError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %T does not carry SearchStats", err)
+	}
+	if serr.Stats.Evaluated != 0 {
+		t.Errorf("pre-cancelled search still evaluated %d points", serr.Stats.Evaluated)
+	}
+}
+
+// TestGreedyPropagatesModelError: a model bug must surface as an error, not
+// masquerade as an infeasible search space.
+func TestGreedyPropagatesModelError(t *testing.T) {
+	f := paperFramework(t)
+	sentinel := errors.New("injected model failure")
+	opts := Options{
+		CapacityBits: 8192,
+		Flavor:       device.HVT,
+		Method:       M2,
+		evalHook: func(*array.Tech, array.Design, array.Activity) (*array.Result, error) {
+			return nil, sentinel
+		},
+	}
+	_, err := f.GreedyOptimize(opts)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("GreedyOptimize error = %v, want the injected sentinel", err)
+	}
+	if errors.Is(err, ErrInfeasible) {
+		t.Error("model error misreported as an infeasible search space")
+	}
+	var serr *SearchError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %T does not carry SearchStats", err)
+	}
+}
+
+// TestInfeasibleSpaceIsClassified: when every point fails a constraint, both
+// searchers report ErrInfeasible (so bank sweeps can skip the partitioning)
+// rather than a generic error.
+func TestInfeasibleSpaceIsClassified(t *testing.T) {
+	f := paperFramework(t)
+	hook := func(tech *array.Tech, d array.Design, act array.Activity) (*array.Result, error) {
+		r, err := array.Evaluate(tech, d, act)
+		if err != nil {
+			return nil, err
+		}
+		r.RailsSettleInTime = false
+		return r, nil
+	}
+	opts := Options{
+		CapacityBits: 4096,
+		Flavor:       device.HVT,
+		Method:       M2,
+		Space:        SearchSpace{VSSCMin: -0.02, VSSCStep: 0.01, NRMax: 1024, NCMax: 1024, NpreMax: 2, NwrMax: 2},
+		evalHook:     hook,
+	}
+	if _, err := f.Optimize(opts); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("Optimize error = %v, want ErrInfeasible", err)
+	}
+	if _, err := f.GreedyOptimize(opts); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("GreedyOptimize error = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestGreedyHonorsSearchWLSegs: the greedy searcher must explore the same
+// divided-wordline axis as the exhaustive one when SearchWLSegs is set, and
+// stay flat otherwise.
+func TestGreedyHonorsSearchWLSegs(t *testing.T) {
+	f := paperFramework(t)
+	for _, dwl := range []bool{false, true} {
+		maxSegs := 0
+		opts := Options{
+			CapacityBits: 32768,
+			Flavor:       device.HVT,
+			Method:       M2,
+			W:            8,
+			Space:        SearchSpace{VSSCMin: -0.02, VSSCStep: 0.01, NRMax: 1024, NCMax: 1024, NpreMax: 5, NwrMax: 5},
+			SearchWLSegs: dwl,
+			evalHook: func(tech *array.Tech, d array.Design, act array.Activity) (*array.Result, error) {
+				if s := d.Geom.Segments(); s > maxSegs {
+					maxSegs = s
+				}
+				return array.Evaluate(tech, d, act)
+			},
+		}
+		if _, err := f.GreedyOptimize(opts); err != nil {
+			t.Fatalf("SearchWLSegs=%v: %v", dwl, err)
+		}
+		if dwl && maxSegs < 2 {
+			t.Errorf("SearchWLSegs=true but greedy never evaluated a divided wordline (max segments %d)", maxSegs)
+		}
+		if !dwl && maxSegs > 1 {
+			t.Errorf("SearchWLSegs=false but greedy evaluated %d-segment wordlines", maxSegs)
+		}
+	}
+}
+
+// TestOptimizeShardsFinerThanRows: the work must be sharded on (row × VSSC)
+// chunks, not row candidates alone, so parallelism is not capped by the
+// handful of feasible organizations.
+func TestOptimizeShardsFinerThanRows(t *testing.T) {
+	f := paperFramework(t)
+	opts := Options{
+		CapacityBits: 4 * 1024 * 8,
+		Flavor:       device.HVT,
+		Method:       M2,
+		Space:        SearchSpace{VSSCMin: -0.240, VSSCStep: 0.010, NRMax: 1024, NCMax: 1024, NpreMax: 2, NwrMax: 2},
+	}
+	opt, err := f.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := len(rowCandidates(opts.CapacityBits, opts.Space))
+	vsscs := len(vsscCandidates(opts.Method, opts.Space))
+	if rows != 6 || vsscs != 25 {
+		t.Fatalf("candidate enumeration changed: %d rows, %d VSSC levels", rows, vsscs)
+	}
+	if opt.Stats.Chunks != rows*vsscs {
+		t.Errorf("Chunks = %d, want the full (row × VSSC) cross product %d", opt.Stats.Chunks, rows*vsscs)
+	}
+	if opt.Stats.Chunks <= rows {
+		t.Errorf("sharding no finer than the %d row candidates", rows)
+	}
+	wantWorkers := runtime.GOMAXPROCS(0)
+	if wantWorkers > opt.Stats.Chunks {
+		wantWorkers = opt.Stats.Chunks
+	}
+	if opt.Stats.Workers != wantWorkers {
+		t.Errorf("Workers = %d, want min(GOMAXPROCS, chunks) = %d", opt.Stats.Workers, wantWorkers)
+	}
+	if opt.Evaluated != opt.Stats.Evaluated || opt.Skipped != opt.Stats.SkippedTotal() {
+		t.Error("Optimum.Evaluated/Skipped out of sync with Stats")
+	}
+}
+
+// TestParetoFrontDeterministic: the frontier merge must also be
+// schedule-independent.
+func TestParetoFrontDeterministic(t *testing.T) {
+	f := paperFramework(t)
+	opts := Options{
+		CapacityBits: 4096,
+		Flavor:       device.HVT,
+		Method:       M2,
+		Space:        SearchSpace{VSSCMin: -0.06, VSSCStep: 0.02, NRMax: 1024, NCMax: 1024, NpreMax: 6, NwrMax: 4},
+	}
+	var ref []DesignPoint
+	for i, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		front, err := f.ParetoFront(opts)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if i == 0 {
+			ref = front
+			continue
+		}
+		if !reflect.DeepEqual(ref, front) {
+			t.Errorf("Pareto front is schedule-dependent: %d vs %d points", len(ref), len(front))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrInfeasible is wrapped by every "no feasible design" failure of the
+// searchers, so callers sweeping partitionings or search-space variants can
+// distinguish an empty feasible region (errors.Is(err, ErrInfeasible)) from
+// a genuine model or cancellation error.
+var ErrInfeasible = errors.New("no feasible design")
+
+// SearchStats is the observability record of one search run. Every field
+// except Wall and Workers is deterministic for a given Options: the same
+// search returns bit-identical counts regardless of GOMAXPROCS or scheduling.
+type SearchStats struct {
+	Evaluated    int // model evaluations performed
+	SkippedRSNM  int // points pruned by the read-stability constraint (never evaluated)
+	SkippedGeom  int // points rejected by geometry validation (never evaluated)
+	SkippedRails int // evaluated points whose assist rails miss the access cycle
+	PrunedVSSC   int // VSSC sweep levels removed up front by the read-stability check
+
+	Chunks  int           // (row organization × VSSC) work units sharded across workers
+	Workers int           // goroutines the shards were distributed over
+	Wall    time.Duration // wall-clock time of the search (environmental, not deterministic)
+}
+
+// SkippedTotal returns the total candidate points rejected without producing
+// a feasible evaluation.
+func (s SearchStats) SkippedTotal() int { return s.SkippedRSNM + s.SkippedGeom + s.SkippedRails }
+
+func (s SearchStats) String() string {
+	return fmt.Sprintf("%d evaluated, %d skipped (stability %d, geometry %d, rails %d), %d VSSC levels pruned, %d chunks on %d workers in %s",
+		s.Evaluated, s.SkippedTotal(), s.SkippedRSNM, s.SkippedGeom, s.SkippedRails,
+		s.PrunedVSSC, s.Chunks, s.Workers, s.Wall.Round(time.Microsecond))
+}
+
+// addWorker folds one worker's partial counters into the aggregate.
+func (s *SearchStats) addWorker(o SearchStats) {
+	s.Evaluated += o.Evaluated
+	s.SkippedRSNM += o.SkippedRSNM
+	s.SkippedGeom += o.SkippedGeom
+	s.SkippedRails += o.SkippedRails
+}
+
+// SearchError is returned when a search aborts — a model-evaluation error or
+// a context cancellation — and carries the statistics accumulated by every
+// worker up to the abort, so the cost of a failed search is still observable.
+type SearchError struct {
+	Stats SearchStats
+	Cause error
+}
+
+func (e *SearchError) Error() string {
+	return fmt.Sprintf("core: search aborted after %s: %v", e.Stats, e.Cause)
+}
+
+func (e *SearchError) Unwrap() error { return e.Cause }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"sramco/internal/core"
@@ -57,10 +58,15 @@ type Table4Row struct {
 
 // Table4 runs the co-optimization for every capacity × configuration.
 func Table4(fw *core.Framework, capacities []int) ([]Table4Row, error) {
+	return Table4Context(context.Background(), fw, capacities)
+}
+
+// Table4Context is Table4 with cancellation threaded through every search.
+func Table4Context(ctx context.Context, fw *core.Framework, capacities []int) ([]Table4Row, error) {
 	var rows []Table4Row
 	for _, bits := range capacities {
 		for _, cfg := range AllConfigs() {
-			opt, err := fw.Optimize(core.Options{
+			opt, err := fw.OptimizeContext(ctx, core.Options{
 				CapacityBits: bits,
 				Flavor:       cfg.Flavor,
 				Method:       cfg.Method,

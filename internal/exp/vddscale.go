@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"sramco/internal/core"
@@ -29,14 +30,23 @@ type VddScaleRow struct {
 // resulting metrics. Expect the LVT array's energy to fall with Vdd but its
 // EDP to remain above the HVT array at nominal supply.
 func VddScaling(capacityBits int, vdds []float64) ([]VddScaleRow, error) {
+	return VddScalingContext(context.Background(), capacityBits, vdds)
+}
+
+// VddScalingContext is VddScaling with cancellation threaded through every
+// per-supply framework build and search.
+func VddScalingContext(ctx context.Context, capacityBits int, vdds []float64) ([]VddScaleRow, error) {
 	var rows []VddScaleRow
 	for _, vdd := range vdds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fw, err := core.NewFramework(core.TechSimulated, core.FrameworkOpts{Vdd: vdd})
 		if err != nil {
 			return nil, fmt.Errorf("exp: VddScaling framework at %gV: %w", vdd, err)
 		}
 		for _, flavor := range []device.Flavor{device.LVT, device.HVT} {
-			opt, err := fw.Optimize(core.Options{CapacityBits: capacityBits, Flavor: flavor, Method: core.M2})
+			opt, err := fw.OptimizeContext(ctx, core.Options{CapacityBits: capacityBits, Flavor: flavor, Method: core.M2})
 			if err != nil {
 				return nil, fmt.Errorf("exp: VddScaling %v at %gV: %w", flavor, vdd, err)
 			}

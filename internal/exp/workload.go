@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"sramco/internal/array"
@@ -24,12 +25,18 @@ func (r WorkloadRow) HVTGain() float64 { return 1 - r.EDPHVT/r.EDPLVT }
 // the HVT advantage grows as the array idles more (lower α: leakage
 // dominates) and shrinks for switching-dominated profiles.
 func WorkloadSweep(fw *core.Framework, capacityBits int, alphas, betas []float64) ([]WorkloadRow, error) {
+	return WorkloadSweepContext(context.Background(), fw, capacityBits, alphas, betas)
+}
+
+// WorkloadSweepContext is WorkloadSweep with cancellation threaded through
+// every search.
+func WorkloadSweepContext(ctx context.Context, fw *core.Framework, capacityBits int, alphas, betas []float64) ([]WorkloadRow, error) {
 	var rows []WorkloadRow
 	for _, a := range alphas {
 		for _, b := range betas {
 			row := WorkloadRow{Alpha: a, Beta: b}
 			for _, flavor := range []device.Flavor{device.LVT, device.HVT} {
-				opt, err := fw.Optimize(core.Options{
+				opt, err := fw.OptimizeContext(ctx, core.Options{
 					CapacityBits: capacityBits,
 					Flavor:       flavor,
 					Method:       core.M2,

@@ -27,6 +27,7 @@
 package sramco
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -63,6 +64,12 @@ type (
 	Options = core.Options
 	// Optimum is the outcome of an optimization run.
 	Optimum = core.Optimum
+	// SearchStats records the observability counters of a search run
+	// (evaluations, skips by reason, sharding, wall time).
+	SearchStats = core.SearchStats
+	// SearchError is returned when a search aborts on a model error or a
+	// context cancellation; it carries the counts accumulated so far.
+	SearchError = core.SearchError
 	// ReadBias and WriteBias are cell bias conditions for characterization.
 	ReadBias  = cell.ReadBias
 	WriteBias = cell.WriteBias
@@ -97,6 +104,11 @@ const (
 
 // Delta returns the paper's minimum acceptable noise margin δ = 0.35·Vdd.
 func Delta() float64 { return core.DefaultDelta(Vdd) }
+
+// ErrInfeasible is wrapped by every "no feasible design" search failure;
+// test with errors.Is to distinguish an empty feasible region from a model
+// error or a cancellation.
+var ErrInfeasible = core.ErrInfeasible
 
 // Framework is a characterized co-optimization context. Construction runs
 // circuit simulations; reuse one Framework across optimizations.
@@ -142,12 +154,20 @@ func (f *Framework) Core() *core.Framework { return f.core }
 
 // Optimize finds the minimum-EDP design for an array of capacityBytes using
 // the paper's default workload (α = β = 0.5, W = 64, δ = 0.35·Vdd) and
-// search ranges.
+// search ranges. The search is deterministic: the returned Optimum is
+// bit-identical for any GOMAXPROCS.
 func (f *Framework) Optimize(capacityBytes int, flavor Flavor, method Method) (*Optimum, error) {
+	return f.OptimizeContext(context.Background(), capacityBytes, flavor, method)
+}
+
+// OptimizeContext is Optimize with cancellation: the search stops at the
+// first model error or when ctx is done, returning a *SearchError that
+// carries the causal error and the counts accumulated up to the abort.
+func (f *Framework) OptimizeContext(ctx context.Context, capacityBytes int, flavor Flavor, method Method) (*Optimum, error) {
 	if capacityBytes <= 0 {
 		return nil, fmt.Errorf("sramco: capacity %d bytes must be positive", capacityBytes)
 	}
-	return f.core.Optimize(core.Options{
+	return f.core.OptimizeContext(ctx, core.Options{
 		CapacityBits: capacityBytes * 8,
 		Flavor:       flavor,
 		Method:       method,
@@ -156,6 +176,11 @@ func (f *Framework) Optimize(capacityBytes int, flavor Flavor, method Method) (*
 
 // OptimizeWith runs an optimization with fully explicit options.
 func (f *Framework) OptimizeWith(opts Options) (*Optimum, error) { return f.core.Optimize(opts) }
+
+// OptimizeWithContext is OptimizeWith with cancellation.
+func (f *Framework) OptimizeWithContext(ctx context.Context, opts Options) (*Optimum, error) {
+	return f.core.OptimizeContext(ctx, opts)
+}
 
 // Evaluate runs the analytical array model on one explicit design point.
 func (f *Framework) Evaluate(flavor Flavor, d Design, act Activity) (*Result, error) {
@@ -177,6 +202,11 @@ func (f *Framework) Rails(flavor Flavor, m Method) (vddc, vwl float64, err error
 // PaperCapacities() for the paper's set.
 func (f *Framework) Table4(capacityBits []int) ([]Table4Row, error) {
 	return exp.Table4(f.core, capacityBits)
+}
+
+// Table4Context is Table4 with cancellation threaded through every search.
+func (f *Framework) Table4Context(ctx context.Context, capacityBits []int) ([]Table4Row, error) {
+	return exp.Table4Context(ctx, f.core, capacityBits)
 }
 
 // HeadlineStats computes the abstract's aggregate numbers from Table-4

@@ -1,6 +1,8 @@
 package sramco
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -39,6 +41,41 @@ func TestOptimizePublicAPI(t *testing.T) {
 	}
 	if _, err := fw.Optimize(-4, HVT, M2); err == nil {
 		t.Error("negative capacity accepted")
+	}
+	if best.Stats.Evaluated != best.Evaluated || best.Stats.Chunks < 1 || best.Stats.Workers < 1 {
+		t.Errorf("search stats not populated: %+v", best.Stats)
+	}
+}
+
+func TestOptimizeContextPublicAPI(t *testing.T) {
+	fw, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = fw.OptimizeContext(ctx, 1024, HVT, M2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled OptimizeContext error = %v, want context.Canceled", err)
+	}
+	var serr *SearchError
+	if !errors.As(err, &serr) {
+		t.Fatalf("error %T does not expose SearchStats", err)
+	}
+	if _, err := fw.Table4Context(ctx, []int{8192}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Table4Context error = %v, want context.Canceled", err)
+	}
+	// A live context behaves exactly like the plain call.
+	got, err := fw.OptimizeWithContext(context.Background(), Options{CapacityBits: 8192, Flavor: HVT, Method: M2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fw.Optimize(1024, HVT, M2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Design != plain.Best.Design || got.Evaluated != plain.Evaluated {
+		t.Error("context and plain searches disagree")
 	}
 }
 
