@@ -1,7 +1,8 @@
 # Tier-1 verification gate and developer targets.
 GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check race-core bench
+.PHONY: build test check race-core vet-obs bench
 
 build:
 	$(GO) build ./...
@@ -12,7 +13,7 @@ test:
 # check is the tier-1 gate: static analysis plus the full test suite under
 # the race detector. The core search engine is explicitly concurrent — run
 # this before every commit touching internal/core.
-check:
+check: vet-obs
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -21,6 +22,13 @@ check:
 race-core:
 	$(GO) test -race ./internal/core/...
 
-# bench regenerates every paper table/figure metric (see bench_test.go).
+# vet-obs gates the observability layer on its own: vet plus the obs package
+# under the race detector (the sink/registry state is global and concurrent).
+vet-obs:
+	$(GO) vet ./internal/obs/... ./internal/cliutil/...
+	$(GO) test -race ./internal/obs/...
+
+# bench runs every benchmark across the module and archives the machine-
+# readable log as BENCH_<date>.json for regression comparison.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$'
+	$(GO) test -json -bench=. -benchmem -run='^$$' ./... | tee BENCH_$(BENCH_DATE).json

@@ -7,25 +7,31 @@
 //
 //	mcyield [-flavor hvt] [-n 200] [-sigma 0.025] [-seed 1]
 //	        [-vddc 0.45] [-vssc 0] [-vwl 0.45]
+//	        [-trace out.jsonl] [-metrics] [-progress] [-debug]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sramco/internal/cell"
+	"sramco/internal/cliutil"
 	"sramco/internal/core"
 	"sramco/internal/device"
 	"sramco/internal/mc"
 	"sramco/internal/num"
+	"sramco/internal/obs"
 	"sramco/internal/unit"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mcyield: ")
+	cliutil.SetName("mcyield")
 	flavorStr := flag.String("flavor", "hvt", "cell flavor: lvt or hvt")
 	n := flag.Int("n", 200, "number of Monte Carlo samples")
 	sigma := flag.Float64("sigma", mc.DefaultSigmaVt, "per-device ΔVt sigma (V)")
@@ -33,6 +39,7 @@ func main() {
 	vddc := flag.Float64("vddc", device.Vdd, "read-assist cell supply (V)")
 	vssc := flag.Float64("vssc", 0, "read-assist cell ground (V, ≤0)")
 	vwl := flag.Float64("vwl", device.Vdd, "write wordline level (V)")
+	obsFlags := cliutil.ObsFlags()
 	flag.Parse()
 
 	var flavor device.Flavor
@@ -42,7 +49,10 @@ func main() {
 	case "hvt":
 		flavor = device.HVT
 	default:
-		log.Fatalf("unknown flavor %q", *flavorStr)
+		cliutil.Fatalf("unknown flavor %q", *flavorStr)
+	}
+	if err := obsFlags.Start(); err != nil {
+		cliutil.Fatalf("%v", err)
 	}
 
 	read := cell.NominalRead(device.Vdd)
@@ -51,16 +61,27 @@ func main() {
 	write := cell.NominalWrite(device.Vdd)
 	write.VWL = *vwl
 
-	res, err := mc.Run(mc.Config{
+	// Ctrl-C / SIGTERM abandons the pending samples; in-flight ones finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := obs.Default()
+	stopProgress := obsFlags.StartProgress(func() string {
+		return fmt.Sprintf("mc: sample %d/%d",
+			reg.CounterValue("mc.samples.done"), int64(reg.GaugeValue("mc.samples.total")))
+	})
+	res, err := mc.RunContext(ctx, mc.Config{
 		Flavor: flavor, N: *n, SigmaVt: *sigma, Seed: *seed,
 		Read: read, Write: write,
 	})
+	stopProgress()
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatalf("%v", err)
 	}
 	delta := core.DefaultDelta(device.Vdd)
 	fmt.Printf("6T-%v, %d samples, σVt=%s, VDDC=%s VSSC=%s VWL=%s\n",
 		flavor, *n, unit.Volts(*sigma), unit.Volts(*vddc), unit.Volts(*vssc), unit.Volts(*vwl))
+	fmt.Printf("  run: %s\n", res.Stats)
 	report := func(name string, s num.Summary) {
 		if s.N == 0 {
 			return
@@ -73,4 +94,5 @@ func main() {
 	report("RSNM", res.RSNM)
 	report("WM", res.WM)
 	fmt.Printf("  fraction with min margin < δ=%s: %.1f%%\n", unit.Volts(delta), res.FailFraction(delta)*100)
+	cliutil.Shutdown()
 }

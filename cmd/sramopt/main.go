@@ -5,30 +5,60 @@
 // Usage:
 //
 //	sramopt [-bytes 4096] [-flavor hvt] [-method m2] [-mode paper] [-breakdown]
-//	        [-compare geom NRxNC:Npre:Nwr:VSSCmV]
+//	        [-compare geom NRxNC:Npre:Nwr:VSSCmV] [-json]
+//	        [-trace out.jsonl] [-metrics] [-progress] [-debug]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"sramco/internal/array"
+	"sramco/internal/cliutil"
 	"sramco/internal/core"
 	"sramco/internal/device"
+	"sramco/internal/obs"
 	"sramco/internal/unit"
 	"sramco/internal/wire"
 )
 
+// jsonReport is the -json output: the optimum design point with its
+// evaluation, the noise margins backing its feasibility, and the search
+// counters.
+type jsonReport struct {
+	CapacityBytes int              `json:"capacity_bytes"`
+	Flavor        string           `json:"flavor"`
+	Method        string           `json:"method"`
+	Mode          string           `json:"mode"`
+	Design        array.Design     `json:"design"`
+	EDP           float64          `json:"edp_js"`
+	DArray        float64          `json:"delay_s"`
+	EArray        float64          `json:"energy_j"`
+	Margins       jsonMargins      `json:"margins"`
+	Result        *array.Result    `json:"result"`
+	Stats         core.SearchStats `json:"search_stats"`
+}
+
+// jsonMargins records the noise margins of the chosen operating point
+// against the paper's δ = 0.35·Vdd requirement.
+type jsonMargins struct {
+	Delta      float64 `json:"delta_v"`     // required minimum margin
+	HSNM       float64 `json:"hsnm_v"`      // hold SNM at nominal Vdd
+	RSNMAtVSSC float64 `json:"rsnm_v"`      // read SNM at the optimum's (VDDC*, VSSC)
+	VDDCStar   float64 `json:"vddc_star_v"` // minimum read-assist supply meeting yield
+	VWLStar    float64 `json:"vwl_star_v"`  // minimum write wordline meeting yield
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sramopt: ")
+	cliutil.SetName("sramopt")
 	bytes := flag.Int("bytes", 4096, "array capacity in bytes (power of two)")
 	flavorStr := flag.String("flavor", "hvt", "cell flavor: lvt or hvt")
 	methodStr := flag.String("method", "m2", "rail method: m1 (one extra rail) or m2 (unrestricted)")
@@ -37,21 +67,26 @@ func main() {
 	compare := flag.String("compare", "", "also evaluate a fixed design NRxNC:Npre:Nwr:VSSCmV")
 	sensitivity := flag.Bool("sensitivity", false, "print the neighbor sensitivity of the optimum")
 	dwl := flag.Bool("dwl", false, "also search divided-wordline segmentation (extension)")
+	asJSON := flag.Bool("json", false, "emit the optimum as JSON on stdout instead of text")
+	obsFlags := cliutil.ObsFlags()
 	flag.Parse()
 
 	flavor, err := parseFlavor(*flavorStr)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatalf("%v", err)
 	}
 	method, err := parseMethod(*methodStr)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatalf("%v", err)
 	}
 	mode := core.TechPaper
 	if strings.EqualFold(*modeStr, "simulated") {
 		mode = core.TechSimulated
 	} else if !strings.EqualFold(*modeStr, "paper") {
-		log.Fatalf("unknown mode %q", *modeStr)
+		cliutil.Fatalf("unknown mode %q", *modeStr)
+	}
+	if err := obsFlags.Start(); err != nil {
+		cliutil.Fatalf("%v", err)
 	}
 
 	// Ctrl-C / SIGTERM cancels every worker of the in-flight search.
@@ -60,18 +95,57 @@ func main() {
 
 	fw, err := core.NewFramework(mode, core.FrameworkOpts{})
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatalf("%v", err)
 	}
 	opts := core.Options{CapacityBits: *bytes * 8, Flavor: flavor, Method: method, SearchWLSegs: *dwl}
+	reg := obs.Default()
+	stopProgress := obsFlags.StartProgress(func() string {
+		return fmt.Sprintf("search: %d evaluated, chunk %d/%d",
+			reg.CounterValue("core.search.evaluated"),
+			reg.CounterValue("core.search.chunks_done"),
+			int64(reg.GaugeValue("core.search.chunks_total")))
+	})
 	opt, err := fw.OptimizeContext(ctx, opts)
+	stopProgress()
 	if err != nil {
 		var serr *core.SearchError
 		if errors.As(err, &serr) && errors.Is(err, context.Canceled) {
-			log.Fatalf("search interrupted after %s", serr.Stats)
+			cliutil.Fatalf("search interrupted after %s", serr.Stats)
 		}
-		log.Fatal(err)
+		cliutil.Fatalf("%v", err)
 	}
 	d, r := opt.Best.Design, opt.Best.Result
+
+	if *asJSON {
+		cc := fw.Cells[flavor]
+		rep := jsonReport{
+			CapacityBytes: *bytes,
+			Flavor:        flavor.String(),
+			Method:        method.String(),
+			Mode:          mode.String(),
+			Design:        d,
+			EDP:           r.EDP,
+			DArray:        r.DArray,
+			EArray:        r.EArray,
+			Margins: jsonMargins{
+				Delta:      fw.Delta,
+				HSNM:       cc.HSNM,
+				RSNMAtVSSC: cc.RSNMAt(d.VSSC),
+				VDDCStar:   cc.VDDCStar,
+				VWLStar:    cc.VWLStar,
+			},
+			Result: r,
+			Stats:  opt.Stats,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			cliutil.Fatalf("encoding JSON: %v", err)
+		}
+		cliutil.Shutdown()
+		return
+	}
+
 	fmt.Printf("%s 6T-%v-%v (%s mode): optimum over %d evaluations\n",
 		unit.Bytes(*bytes*8), flavor, method, mode, opt.Evaluated)
 	fmt.Printf("  search: %s\n", opt.Stats)
@@ -89,7 +163,7 @@ func main() {
 	if *sensitivity {
 		sens, err := fw.SensitivityAt(opts, opt.Best)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatalf("%v", err)
 		}
 		fmt.Println("  neighbor sensitivity (objective relative to optimum; n/a = outside space):")
 		for _, s := range sens {
@@ -100,15 +174,15 @@ func main() {
 	if *compare != "" {
 		cd, err := parseDesign(*compare, *bytes*8, d)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatalf("%v", err)
 		}
 		tech, err := fw.ArrayTech(flavor)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatalf("%v", err)
 		}
 		cr, err := array.Evaluate(tech, cd, r.Activity)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatalf("%v", err)
 		}
 		fmt.Printf("comparison design n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%s:\n",
 			cd.Geom.NR, cd.Geom.NC, cd.Geom.Npre, cd.Geom.Nwr, unit.Volts(cd.VSSC))
@@ -117,6 +191,7 @@ func main() {
 			printBreakdown(cr)
 		}
 	}
+	cliutil.Shutdown()
 }
 
 func relStr(v float64) string {

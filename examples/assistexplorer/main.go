@@ -8,17 +8,18 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"sramco/internal/assist"
 	"sramco/internal/cell"
+	"sramco/internal/cliutil"
 	"sramco/internal/device"
 	"sramco/internal/exp"
+	"sramco/internal/obs"
 	"sramco/internal/unit"
 )
 
 func main() {
-	log.SetFlags(0)
+	cliutil.SetName("assistexplorer")
 	vdd := device.Vdd
 	flavor := device.HVT
 	delta := 0.35 * vdd
@@ -66,6 +67,10 @@ func main() {
 	exitOn(err)
 	fmt.Printf("Combined read assists (VDDC=550mV + VSSC=-240mV): RSNM=%s, I_read=%s\n",
 		unit.Volts(rsnm), unit.Amps(ir))
+
+	fmt.Printf("\nsimulator work: %s\n", obs.Default().StatsLine(
+		"cell.vtc.sweeps", "cell.snm.extractions", "cell.write.trip_searches",
+		"circuit.dc.op_solves", "circuit.tran.runs", "circuit.newton.iterations"))
 }
 
 func printRead(knob string, rows []exp.AssistRow, delta float64) {
@@ -92,6 +97,6 @@ func printWrite(knob string, rows []exp.WriteAssistRow, delta float64) {
 
 func exitOn(err error) {
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Fatalf("%v", err)
 	}
 }

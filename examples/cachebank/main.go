@@ -9,19 +9,20 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"sramco"
+	"sramco/internal/cliutil"
+	"sramco/internal/obs"
 )
 
 const bankBytes = 16 * 1024
 
 func main() {
-	log.SetFlags(0)
+	cliutil.SetName("cachebank")
 
 	fw, err := sramco.NewFramework(sramco.TechPaper)
 	if err != nil {
-		log.Fatalf("characterization failed: %v", err)
+		cliutil.Fatalf("characterization failed: %v", err)
 	}
 
 	type entry struct {
@@ -41,7 +42,7 @@ func main() {
 	} {
 		opt, err := fw.Optimize(bankBytes, cfg.flavor, cfg.method)
 		if err != nil {
-			log.Fatalf("%s: %v", cfg.name, err)
+			cliutil.Fatalf("%s: %v", cfg.name, err)
 		}
 		entries = append(entries, entry{cfg.name, opt})
 	}
@@ -76,7 +77,7 @@ func main() {
 			Activity:     sramco.Activity{Alpha: 0.5, Beta: 0.9},
 		})
 		if err != nil {
-			log.Fatalf("%s: %v", cfg.name, err)
+			cliutil.Fatalf("%s: %v", cfg.name, err)
 		}
 		r := opt.Best.Result
 		fmt.Printf("  %-11s delay %.1fps energy %.1ffJ EDP %.3g\n",
@@ -92,11 +93,14 @@ func main() {
 		Method:       sramco.M2,
 	}, 8)
 	if err != nil {
-		log.Fatalf("bank sweep: %v", err)
+		cliutil.Fatalf("bank sweep: %v", err)
 	}
 	for _, s := range sweep {
 		fmt.Printf("  %d bank(s) of %4dx%-4d: delay %.1fps (wire %.1fps) energy %.1ffJ EDP %.3g\n",
 			s.Banks, s.PerBank.Design.Geom.NR, s.PerBank.Design.Geom.NC,
 			s.DArray*1e12, (s.WireDelay+s.BankDecDelay)*1e12, s.EArray*1e15, s.EDP)
 	}
+
+	fmt.Printf("\ntotal work: %s\n",
+		obs.Default().StatsLine("core.search.runs", "core.search.evaluated", "array.evaluations"))
 }

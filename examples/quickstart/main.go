@@ -7,23 +7,23 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"sramco"
+	"sramco/internal/cliutil"
 )
 
 func main() {
-	log.SetFlags(0)
+	cliutil.SetName("quickstart")
 
 	fw, err := sramco.NewFramework(sramco.TechPaper)
 	if err != nil {
-		log.Fatalf("characterization failed: %v", err)
+		cliutil.Fatalf("characterization failed: %v", err)
 	}
 
 	const capacityBytes = 4 * 1024
 	best, err := fw.Optimize(capacityBytes, sramco.HVT, sramco.M2)
 	if err != nil {
-		log.Fatalf("optimization failed: %v", err)
+		cliutil.Fatalf("optimization failed: %v", err)
 	}
 
 	d, r := best.Best.Design, best.Best.Result
@@ -35,4 +35,5 @@ func main() {
 	fmt.Printf("  energy:        %.2f fJ per cycle (leakage share %.0f%%)\n", r.EArray*1e15, 100*r.ELeak/r.EArray)
 	fmt.Printf("  EDP:           %.3g J*s\n", r.EDP)
 	fmt.Printf("  search cost:   %d analytical model evaluations\n", best.Evaluated)
+	fmt.Printf("  search stats:  %s\n", best.Stats)
 }

@@ -8,14 +8,14 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"sramco"
 	"sramco/internal/cell"
+	"sramco/internal/cliutil"
 )
 
 func main() {
-	log.SetFlags(0)
+	cliutil.SetName("yield")
 	const samples = 48
 	delta := sramco.Delta()
 
@@ -40,12 +40,12 @@ func main() {
 			Metrics: 2, // RSNM only
 		})
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Fatalf("%v", err)
 		}
 		s := res.RSNM
-		fmt.Printf("%-26s mean=%.0fmV σ=%.1fmV min=%.0fmV μ-3σ=%.0fmV fail(δ)=%.0f%%\n",
+		fmt.Printf("%-26s mean=%.0fmV σ=%.1fmV min=%.0fmV μ-3σ=%.0fmV fail(δ)=%.0f%%  [%s]\n",
 			pt.name, s.Mean*1e3, s.Std*1e3, s.Min*1e3, (s.Mean-3*s.Std)*1e3,
-			res.FailFraction(delta)*100)
+			res.FailFraction(delta)*100, res.Stats)
 	}
 
 	fmt.Println("\nThe boost lifts μ-3σ above δ, which is exactly why the paper pins")

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"sramco/internal/obs"
 	"sramco/internal/periph"
 	"sramco/internal/wire"
 )
@@ -198,8 +199,13 @@ func component(c, v, dv, i float64) (delay, energy float64) {
 	return c * dv / i, c * v * dv
 }
 
+// mEvals counts analytical model evaluations — the fundamental unit of
+// work of every search (one per candidate design point).
+var mEvals = obs.NewCounter("array.evaluations")
+
 // Evaluate computes the full array model for one design point.
 func Evaluate(t *Tech, d Design, act Activity) (*Result, error) {
+	mEvals.Inc()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

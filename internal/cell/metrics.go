@@ -1,0 +1,15 @@
+package cell
+
+import "sramco/internal/obs"
+
+// Cell-characterization metrics: one VTC sweep per butterfly branch, one
+// transient flip probe per write-trip bisection step, one rail probe per
+// minimum-rail binary-search evaluation. All counters are deterministic
+// for a given workload.
+var (
+	mVTCSweeps      = obs.NewCounter("cell.vtc.sweeps")
+	mSNMExtractions = obs.NewCounter("cell.snm.extractions")
+	mWriteProbes    = obs.NewCounter("cell.write.trip_probes")
+	mWriteTrips     = obs.NewCounter("cell.write.trip_searches")
+	mRailProbes     = obs.NewCounter("cell.rail.search_probes")
+)

@@ -6,6 +6,7 @@ import (
 
 	"sramco/internal/circuit"
 	"sramco/internal/num"
+	"sramco/internal/obs"
 )
 
 // vtcPoints is the sweep resolution used for butterfly curves.
@@ -35,6 +36,7 @@ func (c *Cell) halfVTC(side int, cvdd, cvss, bl, wl float64, lo, hi float64) (*V
 	c.addHalf(ckt, side, "IN", "OUT", "CVDD", "CVSS", "BL", "WL")
 	ckt.SetIC("OUT", cvdd)
 
+	mVTCSweeps.Inc()
 	xs := num.Linspace(lo, hi, vtcPoints)
 	rs, err := ckt.DCSweep("vin", xs)
 	if err != nil {
@@ -161,19 +163,35 @@ func (c *Cell) ReadButterfly(b ReadBias) (*Butterfly, error) { return c.readButt
 
 // HoldSNM returns the hold static noise margin (paper Fig. 2(a)).
 func (c *Cell) HoldSNM(vdd float64) (float64, error) {
+	sp := obs.StartSpan("cell.hold_snm")
+	mSNMExtractions.Inc()
 	bf, err := c.holdButterfly(vdd)
 	if err != nil {
 		return 0, err
 	}
-	return bf.SNM()
+	snm, err := bf.SNM()
+	if err == nil {
+		sp.Float("snm", snm)
+		sp.End()
+	}
+	return snm, err
 }
 
 // ReadSNM returns the read static noise margin under the given assist bias
 // (paper Figs. 3(a)-(d)).
 func (c *Cell) ReadSNM(b ReadBias) (float64, error) {
+	sp := obs.StartSpan("cell.read_snm")
+	mSNMExtractions.Inc()
 	bf, err := c.readButterfly(b)
 	if err != nil {
 		return 0, err
 	}
-	return bf.SNM()
+	snm, err := bf.SNM()
+	if err == nil {
+		sp.Float("vddc", b.VDDC)
+		sp.Float("vssc", b.VSSC)
+		sp.Float("snm", snm)
+		sp.End()
+	}
+	return snm, err
 }

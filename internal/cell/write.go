@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sramco/internal/circuit"
+	"sramco/internal/obs"
 )
 
 // WriteTripWL returns the minimum wordline voltage that flips a cell holding
@@ -16,7 +17,12 @@ import (
 // with its storage nodes loaded by their physical capacitances and checks
 // whether the state flips within a generous settling window.
 func (c *Cell) WriteTripWL(b WriteBias) (float64, error) {
+	sp := obs.StartSpan("cell.write_trip")
+	mWriteTrips.Inc()
+	probes := 0
 	flips := func(vwl float64) (bool, error) {
+		probes++
+		mWriteProbes.Inc()
 		ckt := circuit.New()
 		ckt.AddV("vcvdd", "CVDD", circuit.Ground, circuit.DC(b.Vdd))
 		ckt.AddV("vcvss", "CVSS", circuit.Ground, circuit.DC(0))
@@ -42,6 +48,9 @@ func (c *Cell) WriteTripWL(b WriteBias) (float64, error) {
 		return 0, fmt.Errorf("cell: write trip at WL=0: %w", err)
 	}
 	if fl {
+		sp.Int("probes", int64(probes))
+		sp.Float("trip", 0)
+		sp.End()
 		return 0, nil // flips even with WL off — degenerate
 	}
 	fh, err := flips(hi)
@@ -63,7 +72,11 @@ func (c *Cell) WriteTripWL(b WriteBias) (float64, error) {
 			lo = mid
 		}
 	}
-	return 0.5 * (lo + hi), nil
+	trip := 0.5 * (lo + hi)
+	sp.Int("probes", int64(probes))
+	sp.Float("trip", trip)
+	sp.End()
+	return trip, nil
 }
 
 // WriteMargin returns the write margin under bias b: the applied wordline
@@ -168,7 +181,14 @@ func (c *Cell) MinVWLForWriteMargin(b WriteBias, target, vMax float64) (float64,
 
 // minRailSearch finds the smallest voltage on a 10 mV grid in [vMin, vMax]
 // satisfying a monotone predicate.
-func minRailSearch(meets func(float64) (bool, error), vMin, vMax float64, what string) (float64, error) {
+func minRailSearch(meetsRaw func(float64) (bool, error), vMin, vMax float64, what string) (float64, error) {
+	sp := obs.StartSpan("cell.rail_search")
+	probes := 0
+	meets := func(v float64) (bool, error) {
+		probes++
+		mRailProbes.Inc()
+		return meetsRaw(v)
+	}
 	const grid = 0.010
 	n := int((vMax-vMin)/grid + 0.5)
 	lo, hi := 0, n // grid indices; predicate assumed false below lo-1... binary search
@@ -182,6 +202,10 @@ func minRailSearch(meets func(float64) (bool, error), vMin, vMax float64, what s
 	if ok0, err := meets(vMin); err != nil {
 		return 0, err
 	} else if ok0 {
+		sp.Str("rail", what)
+		sp.Int("probes", int64(probes))
+		sp.Float("v", vMin)
+		sp.End()
 		return vMin, nil
 	}
 	for hi-lo > 1 {
@@ -197,7 +221,12 @@ func minRailSearch(meets func(float64) (bool, error), vMin, vMax float64, what s
 			lo = mid
 		}
 	}
-	return vMin + float64(hi)*grid, nil
+	v := vMin + float64(hi)*grid
+	sp.Str("rail", what)
+	sp.Int("probes", int64(probes))
+	sp.Float("v", v)
+	sp.End()
+	return v, nil
 }
 
 // ReadCurrentFit fits the paper's analytical read-current law

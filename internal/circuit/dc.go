@@ -3,8 +3,10 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"sramco/internal/num"
+	"sramco/internal/obs"
 )
 
 // Solver tolerances and limits.
@@ -57,6 +59,8 @@ type assembler struct {
 	dim int // unknowns: (nn-1) node voltages + nv branch currents
 	a   *num.Matrix
 	rhs []float64
+
+	halvings int64 // transient step halvings of this analysis (for tracing)
 }
 
 func newAssembler(c *Circuit) *assembler {
@@ -239,6 +243,8 @@ func (as *assembler) newtonDamped(x0 []float64, t, gmin, srcScale float64, tc *t
 		as.assemble(x, t, gmin, srcScale, tc)
 		lu, err := num.Factor(as.a)
 		if err != nil {
+			mNewtonIters.Add(int64(it) + 1)
+			mNewtonSingular.Inc()
 			return nil, fmt.Errorf("circuit: singular Jacobian at iteration %d: %w", it, err)
 		}
 		xn := lu.Solve(as.rhs)
@@ -261,10 +267,13 @@ func (as *assembler) newtonDamped(x0 []float64, t, gmin, srcScale float64, tc *t
 		if maxDx < dxTol {
 			// Re-solve branch currents at the final voltages, then verify KCL.
 			if r := as.residual(x, t, srcScale, tc); r < residTol {
+				mNewtonIters.Add(int64(it) + 1)
 				return x, nil
 			}
 		}
 	}
+	mNewtonIters.Add(maxNewton)
+	mNewtonFails.Inc()
 	return nil, fmt.Errorf("circuit: Newton did not converge in %d iterations", maxNewton)
 }
 
@@ -279,6 +288,7 @@ func (as *assembler) solveRobust(x0 []float64, t float64, tc *tranCtx) ([]float6
 		}
 		// gmin stepping: relax with a strong leak and tighten it
 		// continuously.
+		mGminSteppings.Inc()
 		x := append([]float64(nil), x0...)
 		ok := true
 		for _, gmin := range []float64{1e-3, 1e-5, 1e-7, 1e-9, 1e-11, 1e-13, 0} {
@@ -294,6 +304,7 @@ func (as *assembler) solveRobust(x0 []float64, t float64, tc *tranCtx) ([]float6
 			return x, nil
 		}
 		// Source stepping: ramp all sources from 10% to 100%.
+		mSrcSteppings.Inc()
 		x = make([]float64, as.dim)
 		ok = true
 		for _, scale := range []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
@@ -333,9 +344,12 @@ func (as *assembler) result(x []float64) *DCResult {
 // SetIC seed the Newton iteration, selecting among stable states of bistable
 // circuits such as SRAM cells.
 func (c *Circuit) DCOperatingPoint() (*DCResult, error) {
+	start := time.Now()
 	as := newAssembler(c)
 	x0 := c.initialGuess(0, as.dim)
 	x, err := as.solveRobust(x0, 0, nil)
+	mDCOps.Inc()
+	hDCOpDur.Observe(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +373,7 @@ func (c *Circuit) DCSweep(source string, values []float64) ([]*DCResult, error) 
 	orig := src.wave
 	defer func() { src.wave = orig }()
 
+	sp := obs.StartSpan("circuit.dc_sweep")
 	as := newAssembler(c)
 	results := make([]*DCResult, 0, len(values))
 	x := c.initialGuess(0, as.dim)
@@ -366,10 +381,15 @@ func (c *Circuit) DCSweep(source string, values []float64) ([]*DCResult, error) 
 		src.wave = DC(val)
 		xn, err := as.solveRobust(x, 0, nil)
 		if err != nil {
+			mDCSweepPoints.Add(int64(i))
 			return nil, fmt.Errorf("circuit: DCSweep %s=%g (point %d): %w", source, val, i, err)
 		}
 		x = xn
 		results = append(results, as.result(x))
 	}
+	mDCSweepPoints.Add(int64(len(values)))
+	sp.Str("source", source)
+	sp.Int("points", int64(len(values)))
+	sp.End()
 	return results, nil
 }

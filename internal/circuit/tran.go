@@ -3,6 +3,9 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"time"
+
+	"sramco/internal/obs"
 )
 
 // TranResult holds a transient waveform set.
@@ -102,6 +105,9 @@ func (c *Circuit) Transient(opts TranOpts) (*TranResult, error) {
 	if opts.TStop <= 0 || opts.DT <= 0 {
 		return nil, fmt.Errorf("circuit: Transient requires positive TStop and DT (got %g, %g)", opts.TStop, opts.DT)
 	}
+	start := time.Now()
+	sp := obs.StartSpan("circuit.transient")
+	mTranRuns.Inc()
 	as := newAssembler(c)
 	var x []float64
 	if opts.UIC {
@@ -132,11 +138,19 @@ func (c *Circuit) Transient(opts TranOpts) (*TranResult, error) {
 		dt := math.Min(opts.DT, opts.TStop-t)
 		xn, tn, err := c.step(as, x, t, dt, 0)
 		if err != nil {
+			mTranFails.Inc()
+			hTranDur.Observe(time.Since(start))
 			return nil, err
 		}
 		x, t = xn, tn
 		record(t, x)
 	}
+	steps := int64(len(res.Times) - 1)
+	mTranSteps.Add(steps)
+	hTranDur.Observe(time.Since(start))
+	sp.Int("steps", steps)
+	sp.Int("halvings", as.halvings)
+	sp.End()
 	return res, nil
 }
 
@@ -150,6 +164,8 @@ func (c *Circuit) step(as *assembler, x []float64, t, dt float64, depth int) ([]
 	if depth >= 12 {
 		return nil, 0, fmt.Errorf("circuit: transient step at t=%g failed after 12 halvings: %w", t, err)
 	}
+	mTranHalvings.Inc()
+	as.halvings++
 	half := dt / 2
 	xm, tm, err := c.step(as, x, t, half, depth+1)
 	if err != nil {

@@ -1,0 +1,155 @@
+// Package cliutil is the shared command-line plumbing of the sramco
+// commands and examples: a common fatal-exit path that runs registered
+// cleanups before exiting non-zero, and the observability flag bundle
+// (-trace, -debug, -metrics, -progress, -cpuprofile, -memprofile) wired to
+// the internal/obs sinks and registry.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"sramco/internal/obs"
+)
+
+var (
+	name     = "sramco"
+	cleanups []func()
+)
+
+// SetName sets the prefix used by Fatalf and warnings. Call it first in
+// main, before any other cliutil use.
+func SetName(n string) { name = n }
+
+// OnExit registers fn to run before the process exits through Fatalf or, in
+// the success path, through Shutdown. Cleanups run last-registered first.
+func OnExit(fn func()) { cleanups = append(cleanups, fn) }
+
+// Shutdown runs the registered cleanups once. Call it at the end of a
+// successful main; Fatalf exits without unwinding defers, so a plain defer
+// of the cleanup work would be skipped on the error path.
+func Shutdown() {
+	fns := cleanups
+	cleanups = nil
+	for i := len(fns) - 1; i >= 0; i-- {
+		fns[i]()
+	}
+}
+
+// Fatalf runs the registered cleanups (flushing trace files, profiles and
+// metric dumps), prints the formatted message to stderr prefixed with the
+// command name, and exits with status 1.
+func Fatalf(format string, args ...any) {
+	Shutdown()
+	fmt.Fprintf(os.Stderr, "%s: %s\n", name, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// warnf reports a non-fatal problem on the exit path.
+func warnf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", name, fmt.Sprintf(format, args...))
+}
+
+// Obs is the observability flag bundle shared by the sramco commands.
+type Obs struct {
+	TracePath  string // -trace: JSONL span/point trace file
+	Debug      bool   // -debug: log spans and points to stderr
+	Metrics    bool   // -metrics: dump the registry as JSON on exit
+	Progress   bool   // -progress: live stderr ticker
+	CPUProfile string // -cpuprofile: pprof CPU profile file
+	MemProfile string // -memprofile: pprof heap profile file, written on exit
+}
+
+// ObsFlags registers the observability flags on the default flag set.
+// Call before flag.Parse, then Start after.
+func ObsFlags() *Obs {
+	o := &Obs{}
+	flag.StringVar(&o.TracePath, "trace", "", "write a JSON-lines trace of spans and points to `file`")
+	flag.BoolVar(&o.Debug, "debug", false, "log spans and points to stderr as they happen")
+	flag.BoolVar(&o.Metrics, "metrics", false, "dump the metrics registry as JSON to stderr on exit")
+	flag.BoolVar(&o.Progress, "progress", false, "show a live progress line on stderr")
+	flag.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&o.MemProfile, "memprofile", "", "write a heap profile to `file` on exit")
+	return o
+}
+
+// Start installs the sinks and profilers the parsed flags request and
+// registers the matching teardown with OnExit, so both Shutdown and Fatalf
+// flush them.
+func (o *Obs) Start() error {
+	var sinks obs.MultiSink
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		sinks = append(sinks, obs.NewJSONLSink(f))
+		OnExit(func() {
+			if err := f.Close(); err != nil {
+				warnf("-trace: %v", err)
+			}
+		})
+	}
+	if o.Debug {
+		sinks = append(sinks, obs.NewTextSink(os.Stderr))
+	}
+	if len(sinks) > 0 {
+		sink := obs.Sink(sinks)
+		if len(sinks) == 1 {
+			sink = sinks[0]
+		}
+		obs.SetSink(sink)
+		OnExit(func() { obs.SetSink(nil) })
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		OnExit(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if o.MemProfile != "" {
+		path := o.MemProfile
+		OnExit(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				warnf("-memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				warnf("-memprofile: %v", err)
+			}
+		})
+	}
+	if o.Metrics {
+		OnExit(func() {
+			if err := obs.Default().Snapshot().WriteJSON(os.Stderr); err != nil {
+				warnf("-metrics: %v", err)
+			}
+		})
+	}
+	return nil
+}
+
+// StartProgress starts the live stderr ticker when -progress was given and
+// returns its stop function (a no-op func otherwise), so callers can
+// unconditionally defer or call it.
+func (o *Obs) StartProgress(render func() string) func() {
+	if !o.Progress {
+		return func() {}
+	}
+	return obs.StartProgress(os.Stderr, 250*time.Millisecond, render).Stop
+}

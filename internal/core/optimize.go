@@ -8,6 +8,7 @@ import (
 
 	"sramco/internal/array"
 	"sramco/internal/device"
+	"sramco/internal/obs"
 	"sramco/internal/wire"
 )
 
@@ -179,6 +180,11 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 		eval = array.Evaluate
 	}
 
+	mSearchRuns.Inc()
+	sp := obs.StartSpan("core.search.greedy")
+	sp.Int("capacity_bits", int64(opts.CapacityBits))
+	sp.Str("method", opts.Method.String())
+
 	var stats SearchStats
 	// evalAt returns (nil, nil) for points outside the space or failing a
 	// constraint, and a non-nil error only for cancellation or a genuine
@@ -215,6 +221,7 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 			return nil, fmt.Errorf("core: greedy evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w", nrI, npre, nwr, vssc, err)
 		}
 		stats.Evaluated++
+		mSearchEvaluated.Inc()
 		if !r.RailsSettleInTime {
 			stats.SkippedRails++
 			return nil, nil
@@ -297,6 +304,8 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 		}
 	}
 	stats = finishStats(stats, start, 1)
+	sp.Int("evaluated", int64(stats.Evaluated))
+	sp.End()
 	if bestR == nil {
 		return nil, fmt.Errorf("core: greedy search: %w for %d bits", ErrInfeasible, opts.CapacityBits)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sramco/internal/array"
+	"sramco/internal/obs"
 	"sramco/internal/wire"
 )
 
@@ -199,6 +200,14 @@ func (f *Framework) OptimizeContext(ctx context.Context, opts Options) (*Optimum
 		workers = len(chunks)
 	}
 
+	mSearchRuns.Inc()
+	gSearchChunks.Set(float64(len(chunks)))
+	runSpan := obs.StartSpan("core.search")
+	runSpan.Int("capacity_bits", int64(opts.CapacityBits))
+	runSpan.Str("method", opts.Method.String())
+	runSpan.Int("chunks", int64(len(chunks)))
+	runSpan.Int("workers", int64(workers))
+
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	jobs := make(chan chunk, len(chunks))
@@ -218,11 +227,32 @@ func (f *Framework) OptimizeContext(ctx context.Context, opts Options) (*Optimum
 				if sctx.Err() != nil {
 					return
 				}
+				chunkStart := time.Now()
+				sp := obs.StartSpan("core.search.chunk")
+				evals0 := slot.stats.Evaluated
+				flushed := evals0
+				// endChunk publishes the chunk's evaluation count to the
+				// live counter and closes its trace span; it runs on every
+				// exit from the chunk, including cancellation and error.
+				endChunk := func(completed bool) {
+					mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+					flushed = slot.stats.Evaluated
+					if completed {
+						mSearchChunks.Inc()
+						hChunkDur.Observe(time.Since(chunkStart))
+					}
+					sp.Int("nr", int64(c.rc.nr))
+					sp.Int("nc", int64(c.rc.nc))
+					sp.Float("vssc", c.vssc)
+					sp.Int("evaluated", int64(slot.stats.Evaluated-evals0))
+					sp.End()
+				}
 				nr, nc := c.rc.nr, c.rc.nc
 				width := accessWidth(opts.W, nc)
 				for _, segs := range segCandidates(&opts, nc, width) {
 					for npre := 1; npre <= opts.Space.NpreMax; npre++ {
 						if sctx.Err() != nil {
+							endChunk(false)
 							return
 						}
 						for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
@@ -239,6 +269,7 @@ func (f *Framework) OptimizeContext(ctx context.Context, opts Options) (*Optimum
 								slot.err = fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
 									nr, nc, npre, nwr, c.vssc, err)
 								cancel(slot.err)
+								endChunk(false)
 								return
 							}
 							slot.stats.Evaluated++
@@ -253,8 +284,13 @@ func (f *Framework) OptimizeContext(ctx context.Context, opts Options) (*Optimum
 								slot.best, slot.obj = &DesignPoint{Design: d, Result: r}, v
 							}
 						}
+						// Flush the live counter once per N_wr sweep — cheap
+						// enough for the hot loop, fresh enough for -progress.
+						mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+						flushed = slot.stats.Evaluated
 					}
 				}
+				endChunk(true)
 			}
 		}(&slots[w])
 	}
@@ -269,6 +305,8 @@ func (f *Framework) OptimizeContext(ctx context.Context, opts Options) (*Optimum
 		}
 	}
 	stats = finishStats(stats, start, workers)
+	runSpan.Int("evaluated", int64(stats.Evaluated))
+	runSpan.End()
 
 	if cause := context.Cause(sctx); cause != nil {
 		return nil, &SearchError{Stats: stats, Cause: cause}

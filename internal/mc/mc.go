@@ -10,15 +10,30 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sramco/internal/cell"
 	"sramco/internal/device"
 	"sramco/internal/num"
+	"sramco/internal/obs"
+)
+
+// Monte Carlo run metrics: total/done counts drive progress tickers; the
+// histogram records per-sample wall time. Sample counts are deterministic
+// for a given Config regardless of GOMAXPROCS.
+var (
+	mRuns         = obs.NewCounter("mc.runs")
+	mSamplesDone  = obs.NewCounter("mc.samples.done")
+	mSampleFails  = obs.NewCounter("mc.samples.errors")
+	gSamplesTotal = obs.NewGauge("mc.samples.total")
+	hSampleDur    = obs.NewHistogram("mc.sample_duration")
 )
 
 // DefaultSigmaVt is the per-device threshold σ (V) for a single 7 nm fin;
@@ -93,16 +108,38 @@ func (s Sample) Min() float64 {
 	return m
 }
 
+// RunStats summarizes the execution of one Monte Carlo run. Samples and
+// Workers are deterministic; Wall is environmental.
+type RunStats struct {
+	Samples int           // samples characterized
+	Workers int           // goroutines the samples were distributed over
+	Wall    time.Duration // wall-clock time of the run
+}
+
+func (s RunStats) String() string {
+	return fmt.Sprintf("%d samples on %d workers in %s", s.Samples, s.Workers, s.Wall.Round(time.Microsecond))
+}
+
 // Result aggregates a Monte Carlo run.
 type Result struct {
 	Config  Config
 	Samples []Sample
+	Stats   RunStats
 
 	HSNM, RSNM, WM num.Summary // summaries of the computed metrics
 }
 
-// Run executes the experiment, parallelized across CPU cores.
-func Run(cfg Config) (*Result, error) {
+// Run executes the experiment, parallelized across CPU cores. It is
+// RunContext without cancellation.
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes the experiment, parallelized across CPU cores, and
+// stops early when ctx is done: in-flight samples finish, pending ones are
+// abandoned, and the cancellation cause is returned. Sampling stays
+// deterministic for a given seed — each sample's draws depend only on its
+// index — so a completed run is bit-identical for any GOMAXPROCS.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	start := time.Now()
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -110,7 +147,14 @@ func Run(cfg Config) (*Result, error) {
 	samples := make([]Sample, cfg.N)
 	errs := make([]error, cfg.N)
 
+	mRuns.Inc()
+	gSamplesTotal.Set(float64(cfg.N))
+	runSpan := obs.StartSpan("mc.run")
+	runSpan.Int("n", int64(cfg.N))
+	runSpan.Int("seed", cfg.Seed)
+
 	var wg sync.WaitGroup
+	var done atomic.Int64
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.N {
 		workers = cfg.N
@@ -125,17 +169,38 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
 				samples[i], errs[i] = runSample(lib, cfg, i)
+				done.Add(1)
+				mSamplesDone.Inc()
+				hSampleDur.Observe(time.Since(t0))
+				if errs[i] != nil {
+					mSampleFails.Inc()
+				} else if obs.Enabled() {
+					obs.Point("mc.sample", obs.I64("i", int64(i)), obs.F64("min_margin", samples[i].Min()))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	runSpan.Int("done", done.Load())
+	runSpan.End()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mc: run canceled after %d of %d samples: %w", done.Load(), cfg.N, context.Cause(ctx))
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("mc: sample %d: %w", i, err)
 		}
 	}
-	res := &Result{Config: cfg, Samples: samples}
+	res := &Result{
+		Config:  cfg,
+		Samples: samples,
+		Stats:   RunStats{Samples: cfg.N, Workers: workers, Wall: time.Since(start)},
+	}
 	collect := func(get func(Sample) float64) num.Summary {
 		vals := make([]float64, 0, cfg.N)
 		for _, s := range samples {

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is a live status ticker: it renders a caller-supplied line at a
+// fixed interval (carriage-return overwritten, terminal-style) until
+// stopped, then prints the final line once with a trailing newline. The
+// render function typically reads registry counters, so the ticker works
+// for any instrumented computation without plumbing.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	render   func() string
+
+	stop chan struct{}
+	done sync.WaitGroup
+	once sync.Once
+}
+
+// StartProgress launches the ticker. interval ≤ 0 selects 500 ms.
+func StartProgress(w io.Writer, interval time.Duration, render func() string) *Progress {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	p := &Progress{w: w, interval: interval, render: render, stop: make(chan struct{})}
+	p.done.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.done.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			fmt.Fprintf(p.w, "\r\033[K%s", p.render())
+		case <-p.stop:
+			fmt.Fprintf(p.w, "\r\033[K%s\n", p.render())
+			return
+		}
+	}
+}
+
+// Stop halts the ticker, prints the final line, and waits for the
+// goroutine to exit. Safe to call more than once.
+func (p *Progress) Stop() {
+	p.once.Do(func() { close(p.stop) })
+	p.done.Wait()
+}

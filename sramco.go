@@ -259,6 +259,13 @@ func CharacterizeCell(flavor Flavor) (*CellReport, error) {
 // yield justification for δ = 0.35·Vdd).
 func MonteCarloYield(cfg MCConfig) (*MCResult, error) { return mc.Run(cfg) }
 
+// MonteCarloYieldContext is MonteCarloYield with cancellation: the run stops
+// early when ctx is done, abandoning pending samples and returning the
+// cancellation cause with the done/total counts.
+func MonteCarloYieldContext(ctx context.Context, cfg MCConfig) (*MCResult, error) {
+	return mc.RunContext(ctx, cfg)
+}
+
 // DesignPoint pairs a design with its evaluated metrics (see ParetoFront).
 type DesignPoint = core.DesignPoint
 
