@@ -2,7 +2,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check race-core vet-obs bench
+.PHONY: build test check race-core vet-obs bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,15 @@ vet-obs:
 # readable log as BENCH_<date>.json for regression comparison.
 bench:
 	$(GO) test -json -bench=. -benchmem -run='^$$' ./... | tee BENCH_$(BENCH_DATE).json
+
+# bench-compare re-runs the search hot-path benchmarks and fails if either
+# regressed by more than 10% against the most recent archived BENCH_<date>.json
+# baseline. The current log is written to a name the baseline glob cannot
+# match, so an aborted run never becomes tomorrow's baseline.
+BENCH_BASELINE = $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -n 1)
+bench-compare:
+	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_<date>.json baseline; run 'make bench' first"; exit 1; }
+	$(GO) test -json -bench='^(BenchmarkExhaustiveSearch16KB|BenchmarkModelEvaluation)$$' -benchmem -run='^$$' . > bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) run ./cmd/benchcompare -baseline $(BENCH_BASELINE) -current bench_current.tmp.json \
+		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation; \
+		status=$$?; rm -f bench_current.tmp.json; exit $$status

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"sramco/internal/array"
 	"sramco/internal/core"
 	"sramco/internal/device"
 	"sramco/internal/exp"
@@ -477,6 +478,38 @@ func BenchmarkModelEvaluation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fw.Evaluate(HVT, d, act); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelEvaluationPrepared measures the same evaluation through the
+// chunk-amortized engine the searchers actually use: the validation and the
+// (n_r, n_c, rails)-invariant model terms are hoisted into one Prepare, the
+// loop pays only the per-(N_pre, N_wr) terms. The gap to
+// BenchmarkModelEvaluation is the per-point work the factorization removed.
+func BenchmarkModelEvaluationPrepared(b *testing.B) {
+	fw := benchFramework(b)
+	opt, err := fw.Optimize(4*1024, HVT, M2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := opt.Best.Design
+	tech, err := fw.Core().ArrayTech(HVT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := array.NewEvaluator(tech, array.Activity{Alpha: 0.5, Beta: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ev.Prepare(d.Geom, d.VDDC, d.VSSC, d.VWL); err != nil {
+		b.Fatal(err)
+	}
+	var r array.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvalInto(d.Geom.Npre, d.Geom.Nwr, &r); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,174 @@
+// Command benchcompare guards against performance regressions: it compares
+// the ns/op of named benchmarks between two benchmark logs and exits
+// non-zero when the current run is slower than the baseline by more than the
+// allowed fraction, or when a required benchmark is missing from either log.
+//
+// Both `go test -json` logs (the BENCH_<date>.json archives written by
+// `make bench`) and plain `go test -bench` text output are accepted.
+//
+// Usage:
+//
+//	benchcompare -baseline BENCH_20260806.json -current new.json \
+//	             [-max-regress 0.10] BenchmarkA BenchmarkB ...
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the test2json stream benchcompare needs. The
+// tool reassembles each package's Output fragments before scanning: test2json
+// splits a single benchmark result line across several events (the name and
+// the "N ns/op" tail arrive separately), so per-line regexes on raw events
+// miss every benchmark.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches one benchmark result in reassembled text output, e.g.
+// "BenchmarkModelEvaluation-8   643032   1754 ns/op   560 B/op". The -N
+// GOMAXPROCS suffix is stripped so logs from different machines compare.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9]+(?:\.[0-9]+)?) ns/op`)
+
+// parseLog extracts Benchmark name → ns/op from a benchmark log in either
+// format. Later results for a repeated name win (matching -count behavior of
+// eyeballing the last run).
+func parseLog(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	outputs := make(map[string]*strings.Builder) // package → concatenated output
+	var order []string
+	var plain strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Action == "" {
+			// Not a test2json stream: treat the whole file as plain text.
+			plain.WriteString(line)
+			plain.WriteByte('\n')
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b, ok := outputs[ev.Package]
+		if !ok {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+
+	results := make(map[string]float64)
+	scan := func(text string) {
+		for _, m := range benchLine.FindAllStringSubmatch(text, -1) {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			results[m[1]] = ns
+		}
+	}
+	for _, pkg := range order {
+		scan(outputs[pkg].String())
+	}
+	scan(plain.String())
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return results, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline benchmark log (required)")
+	current := flag.String("current", "", "current benchmark log (required)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed ns/op increase as a fraction of the baseline")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchcompare -baseline FILE -current FILE [-max-regress 0.10] [Benchmark...]\n\n"+
+				"Without explicit names every benchmark present in both logs is compared;\n"+
+				"named benchmarks are required in both logs.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := parseLog(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	curr, err := parseLog(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+
+	names := flag.Args()
+	required := len(names) > 0
+	if !required {
+		for name := range base {
+			if _, ok := curr[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no common benchmarks between the two logs")
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	failed := false
+	for _, name := range names {
+		b, okB := base[name]
+		c, okC := curr[name]
+		if !okB || !okC {
+			if required {
+				missing := *baseline
+				if okB {
+					missing = *current
+				}
+				fmt.Printf("%-40s missing from %s\n", name, missing)
+				failed = true
+			}
+			continue
+		}
+		delta := (c - b) / b
+		mark := ""
+		if delta > *maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %14.1f %14.1f %8.1f%%%s\n", name, b, c, delta*100, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.0f%% (or missing benchmark) vs %s\n",
+			*maxRegress*100, *baseline)
+		os.Exit(1)
+	}
+}

@@ -7,7 +7,6 @@ package array
 
 import (
 	"fmt"
-	"math"
 
 	"sramco/internal/obs"
 	"sramco/internal/periph"
@@ -203,9 +202,12 @@ func component(c, v, dv, i float64) (delay, energy float64) {
 // work of every search (one per candidate design point).
 var mEvals = obs.NewCounter("array.evaluations")
 
-// Evaluate computes the full array model for one design point.
+// Evaluate computes the full array model for one design point. It is a thin
+// wrapper over the Evaluator engine: one Prepare for the point's chunk plus
+// one Eval, after the full historical validation sequence. Search loops that
+// sweep (N_pre, N_wr) inside a fixed chunk should hold an Evaluator instead
+// and amortize the Prepare.
 func Evaluate(t *Tech, d Design, act Activity) (*Result, error) {
-	mEvals.Inc()
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,120 +217,12 @@ func Evaluate(t *Tech, d Design, act Activity) (*Result, error) {
 	if err := act.Validate(); err != nil {
 		return nil, err
 	}
-	g := d.Geom
-	p := t.Periph
-	var b Breakdown
-
-	// --- Table 1 capacitances ---
-	cCVDD := wire.CVDD(g, t.Caps)
-	cCVSS := wire.CVSS(g, t.Caps)
-	cWL := wire.WL(g, t.Caps)
-	cCOL := wire.COL(g, t.Caps)
-	cBL := wire.BL(g, t.Caps)
-
-	// --- Table 2 components ---
-	b.DCVDD, b.ECVDD = component(cCVDD, t.Vdd, d.VDDC-t.Vdd, coefCVDD*railFins*p.ICVDD(d.VDDC))
-	b.DCVSS, b.ECVSS = component(cCVSS, t.Vdd, math.Abs(d.VSSC), coefCVSS*railFins*p.ICVSS(d.VSSC))
-	if segs := g.Segments(); segs > 1 {
-		// Divided wordline: global wire + per-segment AND + local wordline.
-		cGWL := wire.GWL(g, t.Caps)
-		cLWL := wire.LWL(g, t.Caps)
-		lwlFins := float64(wire.LWLDriverFins())
-		dAnd := 2 * p.Tau * (2 + p.PInv) // NAND2 + local driver input stage
-		eAnd := lwlFins * (t.Caps.Cgn + t.Caps.Cgp) * t.Vdd * t.Vdd
-		dg, eg := component(cGWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
-		dl, el := component(cLWL, t.Vdd, t.Vdd, coefWLrd*lwlFins*p.IONPfet())
-		b.DWLGlobal, b.DWLLocal = dg, dl
-		b.DWLRead = dg + dAnd + dl
-		b.EWLRead = eg + eAnd + el
-		dlw, elw := component(cLWL, t.Vdd, d.VWL, coefWLwr*lwlFins*p.IWL(d.VWL))
-		b.DWLWrite = dg + dAnd + dlw
-		b.EWLWrite = eg + eAnd + elw
-	} else {
-		b.DWLRead, b.EWLRead = component(cWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
-		b.DWLWrite, b.EWLWrite = component(cWL, t.Vdd, d.VWL, coefWLwr*driveFins*p.IWL(d.VWL))
+	var e Evaluator
+	e.init(t, act)
+	if err := e.Prepare(d.Geom, d.VDDC, d.VSSC, d.VWL); err != nil {
+		return nil, err
 	}
-	b.DCOL, b.ECOL = component(cCOL, t.Vdd, t.Vdd, coefCOL*driveFins*p.IONPfet())
-	iRead := t.IRead(d.VDDC, d.VSSC)
-	if iRead <= 0 {
-		return nil, fmt.Errorf("array: non-positive read current %g at VDDC=%g VSSC=%g", iRead, d.VDDC, d.VSSC)
-	}
-	b.DBLRead, b.EBLRead = component(cBL, d.VDDC-d.VSSC, t.DeltaVS, iRead)
-	b.DBLWrite, b.EBLWrite = component(cBL, t.Vdd, t.Vdd, coefBLwr*float64(g.Nwr)*p.IONTG())
-	b.DPreRead, b.EPreRead = component(cBL, t.Vdd, t.DeltaVS, coefPRE*float64(g.Npre)*p.IONPfet())
-	b.DPreWrite, b.EPreWrite = component(cBL, t.Vdd, t.Vdd, coefPRE*float64(g.Npre)*p.IONPfet())
-
-	// --- Peripheral blocks ---
-	rowDec := p.RowDecoder(g)
-	colDec := p.ColumnDecoder(g)
-	rowDrv := p.Driver(driveFins)
-	b.DRowDec, b.ERowDec = rowDec.Delay, rowDec.Energy
-	b.DRowDrv, b.ERowDrv = rowDrv.Delay, rowDrv.Energy
-	if g.Muxed() {
-		colDrv := p.Driver(driveFins)
-		b.DColDec, b.EColDec = colDec.Delay, colDec.Energy
-		b.DColDrv, b.EColDrv = colDrv.Delay, colDrv.Energy
-	}
-	b.DSenseAmp, b.ESenseAmp = p.SADelay, p.SAEnergy
-	b.DWriteCell = t.WriteDelayCell(d.VWL)
-	b.EWriteCell = t.WriteEnergyCell
-
-	// --- Table 3 delays ---
-	readRow := b.DRowDec + b.DRowDrv + b.DWLRead + b.DBLRead
-	readCol := b.DColDec + b.DColDrv + b.DCOL
-	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
-
-	writeRow := b.DRowDec + b.DRowDrv + b.DWLWrite
-	writeCol := b.DColDec + b.DColDrv + b.DCOL + b.DBLWrite
-	dWrite := math.Max(writeRow, writeCol) + b.DWriteCell + b.DPreWrite
-
-	// --- Table 3 energies ---
-	// With a divided wordline only the active segment's columns see the
-	// access disturb.
-	activeCols := float64(g.NC / g.Segments())
-	w := float64(g.W)
-	blRdMult, preRdMult, saMult, wrMult, preWrE := 1.0, 1.0, 1.0, 1.0, b.EPreWrite
-	if t.Accounting == AllColumns {
-		// Every disturbed bitline discharges by ΔVs and is precharged; W
-		// sense amplifiers and write buffers operate; after a write, the W
-		// written columns recover a full swing and the other disturbed
-		// columns recover the read-disturb ΔVs.
-		blRdMult, preRdMult, saMult, wrMult = activeCols, activeCols, w, w
-		preWrE = w*b.EPreWrite + (activeCols-w)*b.EPreRead
-	}
-	dcdc := t.DCDCFactor
-	eRead := b.ERowDec + b.ERowDrv + b.EWLRead + blRdMult*b.EBLRead +
-		b.EColDec + b.EColDrv + b.ECOL +
-		saMult*b.ESenseAmp + preRdMult*b.EPreRead +
-		dcdc*(b.ECVDD+b.ECVSS)
-	eWrite := b.ERowDec + b.ERowDrv + dcdc*b.EWLWrite +
-		b.EColDec + b.EColDrv + b.ECOL +
-		wrMult*b.EBLWrite + wrMult*b.EWriteCell + preWrE
-
-	// --- Eqs. (2)-(5) ---
-	dArray := math.Max(dRead, dWrite)
-	eSw := act.Beta*eRead + (1-act.Beta)*eWrite
-	eLeak := float64(g.Bits()) * t.LeakCell * dArray
-	eArray := act.Alpha*eSw + eLeak
-
-	res := &Result{
-		Design:   d,
-		Activity: act,
-		DRead:    dRead,
-		DWrite:   dWrite,
-		DArray:   dArray,
-		ESwRead:  eRead,
-		ESwWrite: eWrite,
-		ESw:      eSw,
-		ELeak:    eLeak,
-		EArray:   eArray,
-		EDP:      eArray * dArray,
-		Parts:    b,
-	}
-	// Rails must settle before WL reaches 50% (§4).
-	wlHalf := b.DRowDec + b.DRowDrv + 0.5*b.DWLRead
-	res.RailsSettleInTime = math.Max(b.DCVDD, b.DCVSS) <= wlHalf
-	return res, nil
+	return e.Eval(d.Geom.Npre, d.Geom.Nwr)
 }
 
 // BLDelay returns just the read bitline delay of a design (used by the

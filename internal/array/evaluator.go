@@ -1,0 +1,355 @@
+package array
+
+import (
+	"fmt"
+	"math"
+
+	"sramco/internal/wire"
+)
+
+// Evaluator is the chunk-amortized form of Evaluate, built for the search
+// hot path. The paper's exhaustive search fixes a (geometry base, assist
+// rails) chunk and sweeps only the precharger and write-buffer fin counts
+// inside it; every Table-1 wire capacitance except the N_pre/N_wr drain
+// terms, both rail components, the WL read/write and COL components, the
+// decoder/driver blocks, the sense amplifier, and the cell write
+// delay/energy are invariant across that inner sweep. The Evaluator computes
+// them once per Prepare and lets Eval fill in only the per-point terms and
+// the Eq. (2)-(5) totals.
+//
+// Bit-identity contract: for any design accepted by both paths,
+//
+//	Evaluate(t, d, act)  ==  ev.Prepare(d.Geom, rails); ev.Eval(Npre, Nwr)
+//
+// field for field, at the == level — not within a tolerance. This holds
+// because every precomputed value is produced by the exact expression (same
+// floating-point operation order) Evaluate used inline, and Eval re-applies
+// the remaining per-point operations in Evaluate's order. The property test
+// in evaluator_test.go enforces this on randomized designs.
+//
+// An Evaluator is NOT safe for concurrent use: Prepare mutates its memo
+// state. Share the validated construction by calling Clone once per worker;
+// clones share the read-only *Tech and revalidate nothing.
+type Evaluator struct {
+	tech *Tech
+	act  Activity
+
+	// Activity-derived constants (set at construction).
+	alpha, beta, oneMinusBeta float64
+
+	// Prepared-chunk key: Prepare is memoized on the last (geometry base,
+	// rails) so repeated calls inside one chunk cost a few comparisons.
+	prepared               bool
+	nr, nc, w, segs        int
+	vddc, vssc, vwl        float64
+	geom                   wire.Geometry // base geometry stamped into results
+
+	// Chunk-invariant Table-2 components, ready to copy into each Result.
+	parts Breakdown
+
+	// Per-point capacitance builders (Table 1 factorization; see wire.BLFixed
+	// and wire.COLFixed).
+	muxed   bool
+	blFixed float64 // n_r(C_height + C_dn)
+	cdp     float64 // C_dp
+	sumCd   float64 // C_dn + C_dp
+	colBase float64 // n_c·C_width + 27(C_dn + C_dp), muxed only
+	colW    float64 // 2·W, muxed only
+	sumCg   float64 // C_gn + C_gp
+
+	// Per-point current denominators and voltages.
+	iRead   float64 // cell read current at (VDDC, VSSC)
+	dvBLRd  float64 // VDDC - VSSC: bitline swing voltage of the read component
+	iCol    float64 // coefCOL·27·ION,pfet
+	iTG     float64 // ION of one write transmission gate fin
+	ionP    float64 // ION,pfet per fin (precharger)
+	vdd     float64
+	deltaVS float64
+
+	// Partial Table-3 delay sums.
+	dReadRow  float64 // DRowDec + DRowDrv + DWLRead
+	dColBase  float64 // DColDec + DColDrv
+	dWriteRow float64 // DRowDec + DRowDrv + DWLWrite (fully invariant)
+
+	// Partial Table-3 energy sums and accounting multipliers.
+	eReadBase  float64 // ERowDec + ERowDrv + EWLRead
+	eWriteBase float64 // ERowDec + ERowDrv + dcdc·EWLWrite + EColDec + EColDrv
+	saE        float64 // saMult·ESenseAmp
+	railE      float64 // dcdc·(ECVDD + ECVSS)
+	wrCellE    float64 // wrMult·EWriteCell
+	blRdMult   float64
+	preRdMult  float64
+	wrMult     float64
+	allCols    bool
+	wMult      float64 // W, AllColumns precharge-write weighting
+	acMinusW   float64 // activeCols - W
+
+	// Eq. (3)-(5) constants.
+	leakCoef float64 // Bits·LeakCell
+
+	// §4 rail-settling feasibility (invariant: depends only on rails/WL).
+	settles bool
+}
+
+// NewEvaluator validates the technology and activity once and returns an
+// unprepared Evaluator. The returned Evaluator (and its clones) never
+// revalidates t, so t must not be mutated while evaluators built from it are
+// alive.
+func NewEvaluator(t *Tech, act Activity) (*Evaluator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := act.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{}
+	e.init(t, act)
+	return e, nil
+}
+
+// init is the unchecked constructor shared by NewEvaluator and the Evaluate
+// wrapper (which performs its own validation in the historical order).
+func (e *Evaluator) init(t *Tech, act Activity) {
+	e.tech = t
+	e.act = act
+	e.alpha = act.Alpha
+	e.beta = act.Beta
+	e.oneMinusBeta = 1 - act.Beta
+	e.vdd = t.Vdd
+	e.deltaVS = t.DeltaVS
+}
+
+// Clone returns a fresh unprepared Evaluator sharing the validated *Tech.
+// Each search worker should own a clone; the shared Tech is read-only.
+func (e *Evaluator) Clone() *Evaluator {
+	c := *e
+	c.prepared = false
+	return &c
+}
+
+// Prepare fixes the chunk: the geometry base (N_pre and N_wr in g are
+// ignored) and the assist rails, computing everything invariant across the
+// inner (N_pre, N_wr) sweep. It validates the rails against the technology
+// and the base geometry structurally (with N_pre = N_wr = 1, since validity
+// of the base does not depend on the swept fin counts), and rejects a
+// non-positive read current exactly as Evaluate does. Repeated calls with
+// the same chunk return immediately.
+func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
+	if e.tech == nil {
+		return fmt.Errorf("array: Prepare on zero Evaluator (use NewEvaluator)")
+	}
+	if e.prepared && g.NR == e.nr && g.NC == e.nc && g.W == e.w && g.WLSegs == e.segs &&
+		vddc == e.vddc && vssc == e.vssc && vwl == e.vwl {
+		return nil
+	}
+	e.prepared = false
+
+	t := e.tech
+	if vddc < t.Vdd {
+		return fmt.Errorf("array: VDDC=%g below Vdd=%g", vddc, t.Vdd)
+	}
+	if vssc > 0 {
+		return fmt.Errorf("array: VSSC=%g must be ≤ 0", vssc)
+	}
+	if vwl < t.Vdd {
+		return fmt.Errorf("array: VWL=%g below Vdd=%g (WLOD only)", vwl, t.Vdd)
+	}
+	base := g
+	base.Npre, base.Nwr = 1, 1
+	if err := base.Validate(); err != nil {
+		return err
+	}
+
+	p := t.Periph
+	var b Breakdown
+
+	// --- Table 1 capacitances (the N_pre/N_wr-independent ones) ---
+	cCVDD := wire.CVDD(g, t.Caps)
+	cCVSS := wire.CVSS(g, t.Caps)
+	cWL := wire.WL(g, t.Caps)
+
+	// --- Table 2 components invariant across the inner sweep ---
+	b.DCVDD, b.ECVDD = component(cCVDD, t.Vdd, vddc-t.Vdd, coefCVDD*railFins*p.ICVDD(vddc))
+	b.DCVSS, b.ECVSS = component(cCVSS, t.Vdd, math.Abs(vssc), coefCVSS*railFins*p.ICVSS(vssc))
+	if segs := g.Segments(); segs > 1 {
+		// Divided wordline: global wire + per-segment AND + local wordline.
+		cGWL := wire.GWL(g, t.Caps)
+		cLWL := wire.LWL(g, t.Caps)
+		lwlFins := float64(wire.LWLDriverFins())
+		dAnd := 2 * p.Tau * (2 + p.PInv) // NAND2 + local driver input stage
+		eAnd := lwlFins * (t.Caps.Cgn + t.Caps.Cgp) * t.Vdd * t.Vdd
+		dg, eg := component(cGWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
+		dl, el := component(cLWL, t.Vdd, t.Vdd, coefWLrd*lwlFins*p.IONPfet())
+		b.DWLGlobal, b.DWLLocal = dg, dl
+		b.DWLRead = dg + dAnd + dl
+		b.EWLRead = eg + eAnd + el
+		dlw, elw := component(cLWL, t.Vdd, vwl, coefWLwr*lwlFins*p.IWL(vwl))
+		b.DWLWrite = dg + dAnd + dlw
+		b.EWLWrite = eg + eAnd + elw
+	} else {
+		b.DWLRead, b.EWLRead = component(cWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
+		b.DWLWrite, b.EWLWrite = component(cWL, t.Vdd, vwl, coefWLwr*driveFins*p.IWL(vwl))
+	}
+	iRead := t.IRead(vddc, vssc)
+	if iRead <= 0 {
+		return fmt.Errorf("array: non-positive read current %g at VDDC=%g VSSC=%g", iRead, vddc, vssc)
+	}
+
+	// --- Peripheral blocks ---
+	rowDec := p.RowDecoder(g)
+	colDec := p.ColumnDecoder(g)
+	rowDrv := p.Driver(driveFins)
+	b.DRowDec, b.ERowDec = rowDec.Delay, rowDec.Energy
+	b.DRowDrv, b.ERowDrv = rowDrv.Delay, rowDrv.Energy
+	if g.Muxed() {
+		colDrv := p.Driver(driveFins)
+		b.DColDec, b.EColDec = colDec.Delay, colDec.Energy
+		b.DColDrv, b.EColDrv = colDrv.Delay, colDrv.Energy
+	}
+	b.DSenseAmp, b.ESenseAmp = p.SADelay, p.SAEnergy
+	b.DWriteCell = t.WriteDelayCell(vwl)
+	b.EWriteCell = t.WriteEnergyCell
+
+	// --- Per-point builders (Table 1 factorization) ---
+	e.muxed = g.Muxed()
+	e.blFixed = wire.BLFixed(g, t.Caps)
+	e.cdp = t.Caps.Cdp
+	e.sumCd = t.Caps.Cdn + t.Caps.Cdp
+	e.colBase = wire.COLFixed(g, t.Caps)
+	e.colW = 2 * float64(g.W)
+	e.sumCg = t.Caps.Cgn + t.Caps.Cgp
+	e.iRead = iRead
+	e.dvBLRd = vddc - vssc
+	e.iCol = coefCOL * driveFins * p.IONPfet()
+	e.iTG = p.IONTG()
+	e.ionP = p.IONPfet()
+
+	// --- Partial Table-3 sums (prefixes of Evaluate's left-associative
+	// chains, so completing them per point reproduces the full sums
+	// bit-for-bit) ---
+	e.dReadRow = b.DRowDec + b.DRowDrv + b.DWLRead
+	e.dColBase = b.DColDec + b.DColDrv
+	e.dWriteRow = b.DRowDec + b.DRowDrv + b.DWLWrite
+
+	activeCols := float64(g.NC / g.Segments())
+	w := float64(g.W)
+	blRdMult, preRdMult, saMult, wrMult := 1.0, 1.0, 1.0, 1.0
+	e.allCols = t.Accounting == AllColumns
+	if e.allCols {
+		blRdMult, preRdMult, saMult, wrMult = activeCols, activeCols, w, w
+	}
+	e.blRdMult, e.preRdMult, e.wrMult = blRdMult, preRdMult, wrMult
+	e.wMult = w
+	e.acMinusW = activeCols - w
+	dcdc := t.DCDCFactor
+	e.eReadBase = b.ERowDec + b.ERowDrv + b.EWLRead
+	e.saE = saMult * b.ESenseAmp
+	e.railE = dcdc * (b.ECVDD + b.ECVSS)
+	e.eWriteBase = b.ERowDec + b.ERowDrv + dcdc*b.EWLWrite + b.EColDec + b.EColDrv
+	e.wrCellE = wrMult * b.EWriteCell
+
+	e.leakCoef = float64(g.Bits()) * t.LeakCell
+
+	// Rails must settle before WL reaches 50% (§4) — invariant, as neither
+	// the rail components nor the WL path depend on N_pre or N_wr.
+	wlHalf := b.DRowDec + b.DRowDrv + 0.5*b.DWLRead
+	e.settles = math.Max(b.DCVDD, b.DCVSS) <= wlHalf
+
+	e.parts = b
+	e.nr, e.nc, e.w, e.segs = g.NR, g.NC, g.W, g.WLSegs
+	e.vddc, e.vssc, e.vwl = vddc, vssc, vwl
+	e.geom = g
+	e.prepared = true
+	return nil
+}
+
+// Eval evaluates one (N_pre, N_wr) point of the prepared chunk, allocating
+// the Result. See EvalInto for the allocation-free form.
+func (e *Evaluator) Eval(npre, nwr int) (*Result, error) {
+	res := new(Result)
+	if err := e.EvalInto(npre, nwr, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// EvalInto evaluates one (N_pre, N_wr) point of the prepared chunk into res,
+// overwriting it completely. Search loops reuse one scratch Result and copy
+// it only when a candidate wins, keeping the hot loop allocation-free.
+func (e *Evaluator) EvalInto(npre, nwr int, res *Result) error {
+	if !e.prepared {
+		return fmt.Errorf("array: Eval before a successful Prepare")
+	}
+	if npre < 1 {
+		return fmt.Errorf("wire: N_pre = %d must be ≥ 1", npre)
+	}
+	if nwr < 1 {
+		return fmt.Errorf("wire: N_wr = %d must be ≥ 1", nwr)
+	}
+	mEvals.Inc()
+	b := e.parts
+	fnwr := float64(nwr)
+
+	// --- Table 1, per-point: BL and COL (wire.BL / wire.COL op order) ---
+	blBase := e.blFixed + float64(npre+1)*e.cdp
+	var cBL, cCOL float64
+	if e.muxed {
+		cBL = blBase + 2*fnwr*e.sumCd
+		cCOL = e.colBase + e.colW*fnwr*e.sumCg
+	} else {
+		cBL = blBase + fnwr*e.sumCd + e.cdp
+	}
+
+	// --- Table 2, per-point components (Evaluate's order) ---
+	b.DCOL, b.ECOL = component(cCOL, e.vdd, e.vdd, e.iCol)
+	b.DBLRead, b.EBLRead = component(cBL, e.dvBLRd, e.deltaVS, e.iRead)
+	b.DBLWrite, b.EBLWrite = component(cBL, e.vdd, e.vdd, coefBLwr*fnwr*e.iTG)
+	iPre := coefPRE * float64(npre) * e.ionP
+	b.DPreRead, b.EPreRead = component(cBL, e.vdd, e.deltaVS, iPre)
+	b.DPreWrite, b.EPreWrite = component(cBL, e.vdd, e.vdd, iPre)
+
+	// --- Table 3 delays ---
+	readRow := e.dReadRow + b.DBLRead
+	readCol := e.dColBase + b.DCOL
+	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+
+	writeCol := e.dColBase + b.DCOL + b.DBLWrite
+	dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + b.DPreWrite
+
+	// --- Table 3 energies ---
+	preWrE := b.EPreWrite
+	if e.allCols {
+		preWrE = e.wMult*b.EPreWrite + e.acMinusW*b.EPreRead
+	}
+	eRead := e.eReadBase + e.blRdMult*b.EBLRead +
+		b.EColDec + b.EColDrv + b.ECOL +
+		e.saE + e.preRdMult*b.EPreRead +
+		e.railE
+	eWrite := e.eWriteBase + b.ECOL +
+		e.wrMult*b.EBLWrite + e.wrCellE + preWrE
+
+	// --- Eqs. (2)-(5) ---
+	dArray := math.Max(dRead, dWrite)
+	eSw := e.beta*eRead + e.oneMinusBeta*eWrite
+	eLeak := e.leakCoef * dArray
+	eArray := e.alpha*eSw + eLeak
+
+	g := e.geom
+	g.Npre, g.Nwr = npre, nwr
+	*res = Result{
+		Design:            Design{Geom: g, VDDC: e.vddc, VSSC: e.vssc, VWL: e.vwl},
+		Activity:          e.act,
+		DRead:             dRead,
+		DWrite:            dWrite,
+		DArray:            dArray,
+		ESwRead:           eRead,
+		ESwWrite:          eWrite,
+		ESw:               eSw,
+		ELeak:             eLeak,
+		EArray:            eArray,
+		EDP:               eArray * dArray,
+		RailsSettleInTime: e.settles,
+		Parts:             b,
+	}
+	return nil
+}

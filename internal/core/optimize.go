@@ -176,8 +176,16 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 		return nil, err
 	}
 	eval := opts.evalHook
+	// Without a test hook, coordinate descent uses the chunk-amortized
+	// Evaluator: the N_pre and N_wr sweeps revisit one (geometry, rails)
+	// chunk, so Prepare memo-hits and each step costs only the per-point
+	// terms.
+	var ev *array.Evaluator
 	if eval == nil {
-		eval = array.Evaluate
+		ev, err = array.NewEvaluator(tech, opts.Activity)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	mSearchRuns.Inc()
@@ -216,9 +224,17 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 			stats.SkippedGeom++
 			return nil, nil
 		}
-		r, err := eval(tech, d, opts.Activity)
-		if err != nil {
-			return nil, fmt.Errorf("core: greedy evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w", nrI, npre, nwr, vssc, err)
+		var r *array.Result
+		var evalErr error
+		if ev != nil {
+			if evalErr = ev.Prepare(d.Geom, d.VDDC, d.VSSC, d.VWL); evalErr == nil {
+				r, evalErr = ev.Eval(d.Geom.Npre, d.Geom.Nwr)
+			}
+		} else {
+			r, evalErr = eval(tech, d, opts.Activity)
+		}
+		if evalErr != nil {
+			return nil, fmt.Errorf("core: greedy evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w", nrI, npre, nwr, vssc, evalErr)
 		}
 		stats.Evaluated++
 		mSearchEvaluated.Inc()
@@ -266,10 +282,10 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 			}
 			changed = improve(r, cand, vssc, segs, npre, nwr) || changed
 		}
-		for v := 0.0; v >= opts.Space.VSSCMin-1e-9; v -= opts.Space.VSSCStep {
-			if opts.Method == M1 && v != 0 {
-				break
-			}
+		// The shared index-based candidate helper keeps the greedy sweep on
+		// exactly the levels the exhaustive search visits (a lone zero level
+		// under M1) — no accumulated float drift, no divergent copies.
+		for _, v := range vsscCandidates(opts.Method, opts.Space) {
 			r, err := evalAt(nr, v, segs, npre, nwr)
 			if err != nil {
 				return nil, &SearchError{Stats: finishStats(stats, start, 1), Cause: err}

@@ -7,29 +7,60 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"sramco/internal/array"
+	"sramco/internal/obs"
 	"sramco/internal/wire"
 )
+
+// ParetoResult pairs the energy-delay frontier with the search statistics of
+// the sweep that produced it, mirroring Optimum for the scalarized search.
+type ParetoResult struct {
+	Front []DesignPoint
+	Stats SearchStats
+}
 
 // ParetoFront is ParetoFrontContext without cancellation.
 func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
 	return f.ParetoFrontContext(context.Background(), opts)
 }
 
-// ParetoFrontContext exhaustively enumerates the same search space as
-// Optimize (flat wordlines only) but returns the full energy-delay Pareto
+// ParetoFrontContext returns just the frontier of ParetoSearchContext,
+// preserving the historical signature.
+func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]DesignPoint, error) {
+	res, err := f.ParetoSearchContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Front, nil
+}
+
+// ParetoSearch is ParetoSearchContext without cancellation.
+func (f *Framework) ParetoSearch(opts Options) (*ParetoResult, error) {
+	return f.ParetoSearchContext(context.Background(), opts)
+}
+
+// ParetoSearchContext exhaustively enumerates the same search space as
+// Optimize — including divided-wordline segmentation when
+// Options.SearchWLSegs is set — but returns the full energy-delay Pareto
 // frontier instead of the single minimum-EDP point: every feasible design
 // for which no other feasible design is both faster and lower-energy. Points
-// are returned sorted by increasing delay (hence decreasing energy).
+// are returned sorted by increasing delay (hence decreasing energy),
+// together with the same SearchStats the other searchers report.
 //
 // The frontier exposes the trade-off the EDP scalarization hides — e.g. how
 // much energy a delay-critical cache bank must pay to match LVT speed.
 //
 // Like OptimizeContext the sweep shards (row × VSSC) chunks over workers,
-// cancels on the first model error or ctx cancellation, and resolves metric
-// ties canonically so the returned frontier is deterministic.
-func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]DesignPoint, error) {
+// uses the chunk-amortized array.Evaluator on the hot path, emits the
+// core.search span/counter scheme (run span core.search.pareto, one
+// core.search.chunk span per shard), cancels on the first model error or ctx
+// cancellation — returning a *SearchError carrying the counts so far — and
+// resolves metric ties canonically so the returned frontier is
+// deterministic for any GOMAXPROCS.
+func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*ParetoResult, error) {
+	start := time.Now()
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -43,19 +74,29 @@ func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]Des
 		return nil, err
 	}
 	eval := opts.evalHook
+	var evProto *array.Evaluator
 	if eval == nil {
-		eval = array.Evaluate
+		evProto, err = array.NewEvaluator(tech, opts.Activity)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	rows := rowCandidates(opts.CapacityBits, opts.Space)
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("core: %w: no feasible organization for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
+	var stats SearchStats
 	var feasVSSC []float64
 	for _, v := range vsscCandidates(opts.Method, opts.Space) {
-		if cc.RSNMAt(v) >= f.Delta-1e-9 {
-			feasVSSC = append(feasVSSC, v)
+		if cc.RSNMAt(v) < f.Delta-1e-9 {
+			stats.PrunedVSSC++
+			continue
 		}
+		feasVSSC = append(feasVSSC, v)
+	}
+	if stats.PrunedVSSC > 0 {
+		stats.SkippedRSNM = stats.PrunedVSSC * validCombosPerLevel(&opts, rows)
 	}
 	var chunks []chunk
 	for _, rc := range rows {
@@ -64,13 +105,26 @@ func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]Des
 		}
 	}
 	if len(chunks) == 0 {
-		return nil, fmt.Errorf("core: %w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits)
+		return nil, &SearchError{
+			Stats: finishStats(stats, start, 0),
+			Cause: fmt.Errorf("%w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits),
+		}
 	}
+	stats.Chunks = len(chunks)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(chunks) {
 		workers = len(chunks)
 	}
+
+	mSearchRuns.Inc()
+	gSearchChunks.Set(float64(len(chunks)))
+	runSpan := obs.StartSpan("core.search.pareto")
+	runSpan.Int("capacity_bits", int64(opts.CapacityBits))
+	runSpan.Str("method", opts.Method.String())
+	runSpan.Int("chunks", int64(len(chunks)))
+	runSpan.Int("workers", int64(workers))
+
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	jobs := make(chan chunk, len(chunks))
@@ -79,49 +133,118 @@ func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]Des
 	}
 	close(jobs)
 
-	fronts := make([][]DesignPoint, workers)
+	type paretoWorker struct {
+		front []DesignPoint
+		stats SearchStats
+	}
+	slots := make([]paretoWorker, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(slot *paretoWorker) {
 			defer wg.Done()
-			var local []DesignPoint
+			var ev *array.Evaluator
+			if evProto != nil {
+				ev = evProto.Clone()
+			}
+			var scratch array.Result
 			for c := range jobs {
 				if sctx.Err() != nil {
 					return
 				}
-				width := accessWidth(opts.W, c.rc.nc)
-				for npre := 1; npre <= opts.Space.NpreMax; npre++ {
-					if sctx.Err() != nil {
-						return
+				chunkStart := time.Now()
+				sp := obs.StartSpan("core.search.chunk")
+				evals0 := slot.stats.Evaluated
+				flushed := evals0
+				endChunk := func(completed bool) {
+					mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+					flushed = slot.stats.Evaluated
+					if completed {
+						mSearchChunks.Inc()
+						hChunkDur.Observe(time.Since(chunkStart))
 					}
-					for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
-						d := array.Design{
-							Geom: wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width, Npre: npre, Nwr: nwr},
-							VDDC: vddc, VSSC: c.vssc, VWL: vwl,
-						}
-						if d.Geom.Validate() != nil {
+					sp.Int("nr", int64(c.rc.nr))
+					sp.Int("nc", int64(c.rc.nc))
+					sp.Float("vssc", c.vssc)
+					sp.Int("evaluated", int64(slot.stats.Evaluated-evals0))
+					sp.End()
+				}
+				nr, nc := c.rc.nr, c.rc.nc
+				width := accessWidth(opts.W, nc)
+				for _, segs := range segCandidates(&opts, nc, width) {
+					if ev != nil {
+						base := wire.Geometry{NR: nr, NC: nc, W: width, Npre: 1, Nwr: 1, WLSegs: segs}
+						if base.Validate() != nil {
+							slot.stats.SkippedGeom += opts.Space.NpreMax * opts.Space.NwrMax
 							continue
 						}
-						r, err := eval(tech, d, opts.Activity)
-						if err != nil {
+						if err := ev.Prepare(base, vddc, c.vssc, vwl); err != nil {
 							cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
-								c.rc.nr, npre, nwr, c.vssc, err))
+								nr, 1, 1, c.vssc, err))
+							endChunk(false)
 							return
 						}
-						if !r.RailsSettleInTime {
-							continue
+					}
+					for npre := 1; npre <= opts.Space.NpreMax; npre++ {
+						if sctx.Err() != nil {
+							endChunk(false)
+							return
 						}
-						local = insertPareto(local, DesignPoint{Design: d, Result: r})
+						for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
+							var r *array.Result
+							var d array.Design
+							if ev != nil {
+								if err := ev.EvalInto(npre, nwr, &scratch); err != nil {
+									cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+										nr, npre, nwr, c.vssc, err))
+									endChunk(false)
+									return
+								}
+								r, d = &scratch, scratch.Design
+							} else {
+								d = array.Design{
+									Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs},
+									VDDC: vddc, VSSC: c.vssc, VWL: vwl,
+								}
+								if d.Geom.Validate() != nil {
+									slot.stats.SkippedGeom++
+									continue
+								}
+								var err error
+								r, err = eval(tech, d, opts.Activity)
+								if err != nil {
+									cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+										nr, npre, nwr, c.vssc, err))
+									endChunk(false)
+									return
+								}
+							}
+							slot.stats.Evaluated++
+							if !r.RailsSettleInTime {
+								slot.stats.SkippedRails++
+								continue
+							}
+							rc := *r
+							slot.front = insertPareto(slot.front, DesignPoint{Design: d, Result: &rc})
+						}
+						mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+						flushed = slot.stats.Evaluated
 					}
 				}
+				endChunk(true)
 			}
-			fronts[w] = local
-		}(w)
+		}(&slots[w])
 	}
 	wg.Wait()
+
+	for i := range slots {
+		stats.addWorker(slots[i].stats)
+	}
+	stats = finishStats(stats, start, workers)
+	runSpan.Int("evaluated", int64(stats.Evaluated))
+	runSpan.End()
 	if cause := context.Cause(sctx); cause != nil {
-		return nil, cause
+		return nil, &SearchError{Stats: stats, Cause: cause}
 	}
 
 	// Deterministic merge: a globally non-dominated point survives every
@@ -129,8 +252,8 @@ func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]Des
 	// global frontier regardless of how chunks were distributed. Inserting
 	// the union in canonical design order makes metric ties order-free too.
 	var candidates []DesignPoint
-	for _, fr := range fronts {
-		candidates = append(candidates, fr...)
+	for i := range slots {
+		candidates = append(candidates, slots[i].front...)
 	}
 	sort.Slice(candidates, func(i, j int) bool {
 		return designLess(candidates[i].Design, candidates[j].Design)
@@ -140,7 +263,10 @@ func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]Des
 		merged = insertPareto(merged, p)
 	}
 	if len(merged) == 0 {
-		return nil, fmt.Errorf("core: %w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits)
+		return nil, &SearchError{
+			Stats: stats,
+			Cause: fmt.Errorf("%w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits),
+		}
 	}
 	sort.Slice(merged, func(i, j int) bool {
 		di, dj := merged[i].Result, merged[j].Result
@@ -152,7 +278,7 @@ func (f *Framework) ParetoFrontContext(ctx context.Context, opts Options) ([]Des
 		}
 		return designLess(merged[i].Design, merged[j].Design)
 	})
-	return merged, nil
+	return &ParetoResult{Front: merged, Stats: stats}, nil
 }
 
 // insertPareto inserts p into a non-dominated set, dropping p if dominated

@@ -39,6 +39,12 @@ func (f *Framework) SensitivityAt(opts Options, at DesignPoint) ([]Sensitivity, 
 	if base <= 0 {
 		return nil, fmt.Errorf("core: non-positive base objective %g", base)
 	}
+	// One validated engine for the whole neighborhood; neighbors along the
+	// N_pre/N_wr axes share the center's chunk, so Prepare memo-hits.
+	ev, err := array.NewEvaluator(tech, opts.Activity)
+	if err != nil {
+		return nil, err
+	}
 
 	eval := func(mutate func(*array.Design) bool) float64 {
 		d := at.Design
@@ -57,7 +63,10 @@ func (f *Framework) SensitivityAt(opts Options, at DesignPoint) ([]Sensitivity, 
 		if cc.RSNMAt(d.VSSC) < f.Delta-1e-9 {
 			return math.NaN()
 		}
-		r, err := array.Evaluate(tech, d, opts.Activity)
+		if ev.Prepare(d.Geom, d.VDDC, d.VSSC, d.VWL) != nil {
+			return math.NaN()
+		}
+		r, err := ev.Eval(d.Geom.Npre, d.Geom.Nwr)
 		if err != nil || !r.RailsSettleInTime {
 			return math.NaN()
 		}

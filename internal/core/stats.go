@@ -17,7 +17,7 @@ var ErrInfeasible = errors.New("no feasible design")
 // search returns bit-identical counts regardless of GOMAXPROCS or scheduling.
 type SearchStats struct {
 	Evaluated    int // model evaluations performed
-	SkippedRSNM  int // points pruned by the read-stability constraint (never evaluated)
+	SkippedRSNM  int // structurally valid points pruned by the read-stability constraint (never evaluated)
 	SkippedGeom  int // points rejected by geometry validation (never evaluated)
 	SkippedRails int // evaluated points whose assist rails miss the access cycle
 	PrunedVSSC   int // VSSC sweep levels removed up front by the read-stability check

@@ -171,10 +171,31 @@ func COL(g Geometry, d DeviceCaps) float64 {
 // BL returns the bitline capacitance (Table 1). Without a column mux the
 // write buffer connects directly (one TG worth of drain); with a mux the
 // write path goes through two transmission gates.
+//
+// BL is composed from BLFixed plus the precharger and write-buffer drain
+// terms, in exactly that order, so an evaluator that amortizes BLFixed
+// across an (N_pre, N_wr) sweep reproduces BL bit-for-bit.
 func BL(g Geometry, d DeviceCaps) float64 {
-	base := float64(g.NR)*(CHeight()+d.Cdn) + float64(g.Npre+1)*d.Cdp
+	base := BLFixed(g, d) + float64(g.Npre+1)*d.Cdp
 	if !g.Muxed() {
 		return base + float64(g.Nwr)*(d.Cdn+d.Cdp) + d.Cdp
 	}
 	return base + 2*float64(g.Nwr)*(d.Cdn+d.Cdp)
+}
+
+// BLFixed returns the part of the bitline capacitance that is independent of
+// the precharger and write-buffer fin counts: the cell drains and wire of
+// the n_r rows, n_r(C_height + C_dn).
+func BLFixed(g Geometry, d DeviceCaps) float64 {
+	return float64(g.NR) * (CHeight() + d.Cdn)
+}
+
+// COLFixed returns the part of the column-select capacitance that is
+// independent of N_wr: the wire spanning the array plus the driver drain,
+// n_c·C_width + 27(C_dn + C_dp). Zero when no column multiplexer is needed.
+func COLFixed(g Geometry, d DeviceCaps) float64 {
+	if !g.Muxed() {
+		return 0
+	}
+	return float64(g.NC)*CWidth() + wlDriverFins*(d.Cdn+d.Cdp)
 }

@@ -269,12 +269,22 @@ func MonteCarloYieldContext(ctx context.Context, cfg MCConfig) (*MCResult, error
 // DesignPoint pairs a design with its evaluated metrics (see ParetoFront).
 type DesignPoint = core.DesignPoint
 
+// ParetoResult pairs the energy-delay frontier with the search statistics
+// of the sweep that produced it (see ParetoSearch).
+type ParetoResult = core.ParetoResult
+
 // ParetoFront returns the full energy-delay frontier of the search space
 // instead of the single EDP optimum: every feasible design no other design
 // beats on both delay and energy, sorted by increasing delay. Use
 // core.KneePoint (via Core()) to pick a balanced point.
 func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
 	return f.core.ParetoFront(opts)
+}
+
+// ParetoSearch is ParetoFront returning the SearchStats of the sweep
+// alongside the frontier, mirroring what Optimize reports.
+func (f *Framework) ParetoSearch(opts Options) (*ParetoResult, error) {
+	return f.core.ParetoSearch(opts)
 }
 
 // CornerRow and TempRow are the extension-experiment row types.
