@@ -2,7 +2,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check race-core vet-obs bench bench-compare
+.PHONY: build test check race-core race-serve vet-obs fuzz-smoke bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,10 @@ test:
 	$(GO) test ./...
 
 # check is the tier-1 gate: static analysis plus the full test suite under
-# the race detector. The core search engine is explicitly concurrent — run
-# this before every commit touching internal/core.
+# the race detector. ./... covers the golden-regression tests (root package
+# and cmd/sramopt) and the serving layer's coalescing/drain tests, so check
+# is also the service e2e gate. The core search engine and the server are
+# explicitly concurrent — run this before every commit touching either.
 check: vet-obs
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -21,6 +23,20 @@ check: vet-obs
 # race detector.
 race-core:
 	$(GO) test -race ./internal/core/...
+
+# race-serve gates the HTTP serving layer on its own: the cache, coalescing,
+# drain and deadline tests under the race detector.
+race-serve:
+	$(GO) test -race ./internal/serve/...
+
+# fuzz-smoke runs each fuzz target briefly — long enough to catch a fresh
+# decoder panic or validation regression, short enough for CI. The committed
+# corpora under */testdata/fuzz seed every run.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzConfigNormalize -fuzztime=$(FUZZTIME) ./internal/mc/
+	$(GO) test -fuzz=FuzzOptionsNormalize -fuzztime=$(FUZZTIME) ./internal/core/
 
 # vet-obs gates the observability layer on its own: vet plus the obs package
 # under the race detector (the sink/registry state is global and concurrent).
@@ -41,6 +57,7 @@ BENCH_BASELINE = $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -n 1)
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_<date>.json baseline; run 'make bench' first"; exit 1; }
 	$(GO) test -json -bench='^(BenchmarkExhaustiveSearch16KB|BenchmarkModelEvaluation)$$' -benchmem -run='^$$' . > bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) test -json -bench='^BenchmarkServeOptimizeCached$$' -benchmem -run='^$$' ./internal/serve/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) run ./cmd/benchcompare -baseline $(BENCH_BASELINE) -current bench_current.tmp.json \
-		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation; \
+		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation BenchmarkServeOptimizeCached; \
 		status=$$?; rm -f bench_current.tmp.json; exit $$status

@@ -1,0 +1,100 @@
+// Command sramd serves the co-optimization framework over HTTP/JSON: the
+// /v1/optimize, /v1/evaluate, /v1/pareto and /v1/yield endpoints with a
+// bounded LRU result cache, coalescing of concurrent identical requests, a
+// worker pool with per-request deadlines, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	sramd [-addr :8347] [-mode paper] [-cache 256] [-workers N]
+//	      [-timeout 60s] [-drain-timeout 30s]
+//	      [-trace out.jsonl] [-metrics] [-debug]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sramco"
+	"sramco/internal/cliutil"
+	"sramco/internal/serve"
+)
+
+func main() {
+	cliutil.SetName("sramd")
+	addr := flag.String("addr", ":8347", "listen address")
+	modeStr := flag.String("mode", "paper", "calibration mode: paper or simulated")
+	cacheSize := flag.Int("cache", 256, "result-cache entries (negative disables caching)")
+	workers := flag.Int("workers", 0, "concurrent optimizer runs (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline cap")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
+	obsFlags := cliutil.ObsFlags()
+	flag.Parse()
+
+	mode := sramco.TechPaper
+	if strings.EqualFold(*modeStr, "simulated") {
+		mode = sramco.TechSimulated
+	} else if !strings.EqualFold(*modeStr, "paper") {
+		cliutil.Fatalf("unknown mode %q", *modeStr)
+	}
+	if err := obsFlags.Start(); err != nil {
+		cliutil.Fatalf("%v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "sramd: characterizing technology (%v mode)...\n", mode)
+	fw, err := sramco.NewFramework(mode)
+	if err != nil {
+		cliutil.Fatalf("%v", err)
+	}
+
+	srv := serve.New(fw, serve.Config{
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+		Workers:   *workers,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGINT/SIGTERM triggers the drain sequence: stop accepting, let
+	// in-flight requests finish within the grace period, then exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sramd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		cliutil.Fatalf("listen %s: %v", *addr, err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "sramd: shutdown signal, draining for up to %s\n", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown stops the listener and waits for handlers to return; Drain
+	// refuses new /v1/* work and only cancels the compute context once the
+	// in-flight requests have finished (or the grace period expires).
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	drainErr := srv.Drain(drainCtx)
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cliutil.Fatalf("serve: %v", err)
+	}
+	if shutdownErr != nil || drainErr != nil {
+		cliutil.Fatalf("drain incomplete after %s (shutdown: %v, drain: %v)", *drainTimeout, shutdownErr, drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "sramd: drained cleanly")
+	cliutil.Shutdown()
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,11 +72,11 @@ func main() {
 	obsFlags := cliutil.ObsFlags()
 	flag.Parse()
 
-	flavor, err := parseFlavor(*flavorStr)
+	flavor, err := device.ParseFlavor(*flavorStr)
 	if err != nil {
 		cliutil.Fatalf("%v", err)
 	}
-	method, err := parseMethod(*methodStr)
+	method, err := core.ParseMethod(*methodStr)
 	if err != nil {
 		cliutil.Fatalf("%v", err)
 	}
@@ -117,29 +118,7 @@ func main() {
 	d, r := opt.Best.Design, opt.Best.Result
 
 	if *asJSON {
-		cc := fw.Cells[flavor]
-		rep := jsonReport{
-			CapacityBytes: *bytes,
-			Flavor:        flavor.String(),
-			Method:        method.String(),
-			Mode:          mode.String(),
-			Design:        d,
-			EDP:           r.EDP,
-			DArray:        r.DArray,
-			EArray:        r.EArray,
-			Margins: jsonMargins{
-				Delta:      fw.Delta,
-				HSNM:       cc.HSNM,
-				RSNMAtVSSC: cc.RSNMAt(d.VSSC),
-				VDDCStar:   cc.VDDCStar,
-				VWLStar:    cc.VWLStar,
-			},
-			Result: r,
-			Stats:  opt.Stats,
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		if err := writeJSONReport(os.Stdout, buildJSONReport(fw, mode, *bytes, flavor, method, opt)); err != nil {
 			cliutil.Fatalf("encoding JSON: %v", err)
 		}
 		cliutil.Shutdown()
@@ -194,6 +173,58 @@ func main() {
 	cliutil.Shutdown()
 }
 
+// buildJSONReport assembles the -json report for an already-completed
+// search. Factored out of main so the CLI's JSON contract is testable
+// end-to-end without forking the binary.
+func buildJSONReport(fw *core.Framework, mode core.Mode, capacityBytes int, flavor device.Flavor, method core.Method, opt *core.Optimum) jsonReport {
+	d, r := opt.Best.Design, opt.Best.Result
+	cc := fw.Cells[flavor]
+	return jsonReport{
+		CapacityBytes: capacityBytes,
+		Flavor:        flavor.String(),
+		Method:        method.String(),
+		Mode:          mode.String(),
+		Design:        d,
+		EDP:           r.EDP,
+		DArray:        r.DArray,
+		EArray:        r.EArray,
+		Margins: jsonMargins{
+			Delta:      fw.Delta,
+			HSNM:       cc.HSNM,
+			RSNMAtVSSC: cc.RSNMAt(d.VSSC),
+			VDDCStar:   cc.VDDCStar,
+			VWLStar:    cc.VWLStar,
+		},
+		Result: r,
+		Stats:  opt.Stats,
+	}
+}
+
+func writeJSONReport(w io.Writer, rep jsonReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runJSON is the whole `sramopt -json` pipeline — characterize, optimize,
+// report — against a caller-supplied writer.
+func runJSON(ctx context.Context, w io.Writer, mode core.Mode, capacityBytes int, flavor device.Flavor, method core.Method, dwl bool) error {
+	fw, err := core.NewFramework(mode, core.FrameworkOpts{})
+	if err != nil {
+		return err
+	}
+	opt, err := fw.OptimizeContext(ctx, core.Options{
+		CapacityBits: capacityBytes * 8,
+		Flavor:       flavor,
+		Method:       method,
+		SearchWLSegs: dwl,
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSONReport(w, buildJSONReport(fw, mode, capacityBytes, flavor, method, opt))
+}
+
 func relStr(v float64) string {
 	if v != v { // NaN
 		return "n/a"
@@ -229,26 +260,6 @@ func printBreakdown(r *array.Result) {
 		unit.Joules(b.EWLWrite), unit.Joules(b.EBLWrite), unit.Joules(b.EWriteCell), unit.Joules(b.EPreWrite))
 	fmt.Printf("  rail settling: CVDD=%s CVSS=%s (in time: %v)\n",
 		unit.Seconds(b.DCVDD), unit.Seconds(b.DCVSS), r.RailsSettleInTime)
-}
-
-func parseFlavor(s string) (device.Flavor, error) {
-	switch strings.ToLower(s) {
-	case "lvt":
-		return device.LVT, nil
-	case "hvt":
-		return device.HVT, nil
-	}
-	return 0, fmt.Errorf("unknown flavor %q (want lvt or hvt)", s)
-}
-
-func parseMethod(s string) (core.Method, error) {
-	switch strings.ToLower(s) {
-	case "m1":
-		return core.M1, nil
-	case "m2":
-		return core.M2, nil
-	}
-	return 0, fmt.Errorf("unknown method %q (want m1 or m2)", s)
 }
 
 // parseDesign parses "NRxNC:Npre:Nwr:VSSCmV", inheriting rails from base.

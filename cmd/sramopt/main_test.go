@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"sramco/internal/core"
+	"sramco/internal/device"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+const goldenJSON = "testdata/golden_json.json"
+
+// normalizeReport zeroes the environmental search statistics (wall clock,
+// worker count) that legitimately vary between runs, leaving everything the
+// CLI contract promises to be deterministic.
+func normalizeReport(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	stats, ok := m["search_stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("report has no search_stats object:\n%s", raw)
+	}
+	stats["Wall"] = 0.0
+	stats["Workers"] = 0.0
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestRunJSONGolden runs the full `sramopt -json` pipeline (characterize,
+// optimize, report) on a small capacity and diffs the emitted JSON against
+// the committed golden, so the CLI's machine-readable contract — field
+// names, units, and the optimum itself — cannot drift silently.
+func TestRunJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := runJSON(context.Background(), &buf, core.TechPaper, 128, device.HVT, core.M2, false)
+	if err != nil {
+		t.Fatalf("runJSON: %v", err)
+	}
+	got := normalizeReport(t, buf.Bytes())
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenJSON, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenJSON, len(got))
+		return
+	}
+
+	wantRaw, err := os.ReadFile(goldenJSON)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	want := normalizeReport(t, wantRaw)
+	if !bytes.Equal(got, want) {
+		t.Errorf("sramopt -json output drifted from %s.\ngot:\n%s\nwant:\n%s\n(regenerate with -update if the change is intended)",
+			goldenJSON, got, want)
+	}
+}

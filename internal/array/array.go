@@ -134,9 +134,11 @@ type Activity struct {
 	Beta  float64 // fraction of accesses that are reads
 }
 
-// Validate checks both factors are probabilities.
+// Validate checks both factors are probabilities. The inverted comparison
+// also rejects NaN, which would otherwise slip through a range check and
+// poison every downstream energy term.
 func (a Activity) Validate() error {
-	if a.Alpha < 0 || a.Alpha > 1 || a.Beta < 0 || a.Beta > 1 {
+	if !(a.Alpha >= 0 && a.Alpha <= 1 && a.Beta >= 0 && a.Beta <= 1) {
 		return fmt.Errorf("array: activity α=%g β=%g must be within [0,1]", a.Alpha, a.Beta)
 	}
 	return nil

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sramco/internal/array"
+	"sramco/internal/device"
+)
+
+// FuzzOptionsNormalize drives Options.normalize with arbitrary field values.
+// Every search entry point funnels through normalize, so the contract is:
+// never panic, and on success the options the searchers read are in their
+// valid domains (power-of-two capacity, in-range activity, usable width,
+// non-nil objective, populated search space).
+func FuzzOptionsNormalize(f *testing.F) {
+	f.Add(8192, uint8(0), uint8(0), 0.0, 0.0, 0, false)     // all defaults
+	f.Add(128*1024, uint8(1), uint8(1), 0.5, 0.9, 64, true) // typical explicit run
+	f.Add(2, uint8(0), uint8(0), 0.0, 0.0, 0, false)        // below minimum capacity
+	f.Add(-8192, uint8(0), uint8(0), 0.0, 0.0, 0, false)    // negative capacity
+	f.Add(8192+1, uint8(0), uint8(0), 0.0, 0.0, 0, false)   // not a power of two
+	f.Add(8192, uint8(0), uint8(0), 2.0, 0.5, 0, false)     // activity out of range
+	f.Add(8192, uint8(0), uint8(0), math.NaN(), 0.5, 0, false)
+	f.Add(8192, uint8(0), uint8(0), 0.5, math.Inf(1), 0, false)
+	f.Add(8192, uint8(0), uint8(0), 0.5, 0.5, -8, false) // negative width
+	f.Add(16, uint8(0), uint8(0), 0.5, 0.5, 0, false)    // default width exceeds capacity
+	f.Add(8192, uint8(7), uint8(9), 0.5, 0.5, 32, true)  // out-of-range enums
+
+	f.Fuzz(func(t *testing.T, capacity int, flavor, method uint8, alpha, beta float64, w int, segs bool) {
+		o := Options{
+			CapacityBits: capacity,
+			Flavor:       device.Flavor(flavor),
+			Method:       Method(method),
+			Activity:     array.Activity{Alpha: alpha, Beta: beta},
+			W:            w,
+			SearchWLSegs: segs,
+		}
+		if err := o.normalize(); err != nil {
+			return // rejection is fine; panicking or accepting junk is not
+		}
+		if o.CapacityBits < 4 || o.CapacityBits&(o.CapacityBits-1) != 0 {
+			t.Errorf("normalize accepted capacity %d", o.CapacityBits)
+		}
+		if err := o.Activity.Validate(); err != nil {
+			t.Errorf("normalize accepted activity: %v", err)
+		}
+		if o.W <= 0 || o.W > o.CapacityBits {
+			t.Errorf("normalize accepted W = %d for capacity %d", o.W, o.CapacityBits)
+		}
+		if o.Objective == nil {
+			t.Error("normalize left Objective nil")
+		}
+		if o.Space == (SearchSpace{}) {
+			t.Error("normalize left Space empty")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"sramco/internal/array"
@@ -32,6 +33,19 @@ func (m Method) String() string {
 	return "M1"
 }
 
+// ParseMethod parses a method name ("m1" or "m2", case-insensitive) — the
+// inverse of String, shared by the CLIs and the serving layer so the
+// canonical forms in request cache keys cannot drift.
+func ParseMethod(s string) (Method, error) {
+	switch {
+	case strings.EqualFold(s, "m1"):
+		return M1, nil
+	case strings.EqualFold(s, "m2"):
+		return M2, nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q (want m1 or m2)", s)
+}
+
 // SearchSpace bounds the exhaustive search (§5 defaults).
 type SearchSpace struct {
 	VSSCMin  float64 // most negative VSSC (default -0.240)
@@ -56,6 +70,23 @@ var (
 	ObjectiveDelay  Objective = func(r *array.Result) float64 { return r.DArray }
 	ObjectiveEnergy Objective = func(r *array.Result) float64 { return r.EArray }
 )
+
+// ObjectiveByName maps the canonical objective names ("edp", "delay",
+// "energy") to the built-in objectives. Objectives are functions and so
+// cannot appear in a serialized request; callers that key caches on a
+// request pass the name through this table and keep the name as the
+// canonical form.
+func ObjectiveByName(name string) (Objective, bool) {
+	switch strings.ToLower(name) {
+	case "", "edp":
+		return ObjectiveEDP, true
+	case "delay":
+		return ObjectiveDelay, true
+	case "energy":
+		return ObjectiveEnergy, true
+	}
+	return nil, false
+}
 
 // Options configures one optimization run.
 type Options struct {
@@ -90,8 +121,14 @@ func (o *Options) normalize() error {
 	if o.Activity == (array.Activity{}) {
 		o.Activity = array.Activity{Alpha: DefaultAlpha, Beta: DefaultBeta}
 	}
+	if err := o.Activity.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	if o.W == 0 {
 		o.W = DefaultW
+	}
+	if o.W < 0 || o.W > o.CapacityBits {
+		return fmt.Errorf("core: access width %d outside (0, capacity %d]", o.W, o.CapacityBits)
 	}
 	if o.Space == (SearchSpace{}) {
 		o.Space = DefaultSpace()

@@ -16,6 +16,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"sramco/internal/num"
@@ -55,6 +56,20 @@ func (f Flavor) String() string {
 		return "HVT"
 	}
 	return "LVT"
+}
+
+// ParseFlavor parses a flavor name ("lvt" or "hvt", case-insensitive) — the
+// inverse of String. It is the single parser shared by the CLIs and the
+// serving layer, so the canonical string forms used in cache keys cannot
+// drift between entry points.
+func ParseFlavor(s string) (Flavor, error) {
+	switch {
+	case strings.EqualFold(s, "lvt"):
+		return LVT, nil
+	case strings.EqualFold(s, "hvt"):
+		return HVT, nil
+	}
+	return 0, fmt.Errorf("device: unknown flavor %q (want lvt or hvt)", s)
 }
 
 // Params holds the compact-model parameters of one device type (single fin).

@@ -71,11 +71,14 @@ func (c *Config) normalize() error {
 	if c.SigmaVt == 0 {
 		c.SigmaVt = DefaultSigmaVt
 	}
-	if c.SigmaVt < 0 {
-		return fmt.Errorf("mc: negative σVt %g", c.SigmaVt)
+	if !(c.SigmaVt > 0) || math.IsInf(c.SigmaVt, 0) {
+		return fmt.Errorf("mc: σVt %g must be positive and finite", c.SigmaVt)
 	}
 	if c.Vdd == 0 {
 		c.Vdd = device.Vdd
+	}
+	if !(c.Vdd > 0) || math.IsInf(c.Vdd, 0) {
+		return fmt.Errorf("mc: Vdd %g must be positive and finite", c.Vdd)
 	}
 	if c.Read == (cell.ReadBias{}) {
 		c.Read = cell.NominalRead(c.Vdd)

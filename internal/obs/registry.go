@@ -260,6 +260,74 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// promName maps a dotted metric name to the Prometheus exposition charset:
+// every character outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// `_bucket{le=...}` series with `_sum`/`_count`. Families are emitted in
+// sorted name order, so the output is deterministic for fixed values.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counterNames := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		counterNames = append(counterNames, n)
+	}
+	sort.Strings(counterNames)
+	for _, n := range counterNames {
+		pn := promName(n)
+		pf("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+	gaugeNames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
+	sort.Strings(gaugeNames)
+	for _, n := range gaugeNames {
+		pn := promName(n)
+		pf("# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[n])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, n := range histNames {
+		h := s.Histograms[n]
+		pn := promName(n) + "_seconds"
+		pf("# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			if b.LeSec == 0 { // overflow bucket folds into +Inf below
+				continue
+			}
+			pf("%s_bucket{le=\"%g\"} %d\n", pn, b.LeSec, cum)
+		}
+		pf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		pf("%s_sum %g\n%s_count %d\n", pn, h.SumSec, pn, h.Count)
+	}
+	return err
+}
+
 // StatsLine renders "name=value" pairs for the named counters, skipping
 // absent ones — a compact one-line summary for CLIs and examples.
 func (r *Registry) StatsLine(names ...string) string {

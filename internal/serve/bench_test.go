@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeOptimizeCached measures the hot serving path: a fully
+// cached /v1/optimize request through the real handler stack (decode,
+// normalize, canonical key, LRU hit, write). The first request fills the
+// cache outside the timed loop.
+func BenchmarkServeOptimizeCached(b *testing.B) {
+	s := New(framework(b), Config{})
+	warm := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(optimizeBody))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm-up fill failed: %d %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(optimizeBody))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded least-recently-used cache from canonical request
+// keys to marshaled response bodies. Storing the exact bytes written to the
+// first caller guarantees every later hit is bit-identical to the original
+// response. Safe for concurrent use.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRUCache returns a cache bounded to capacity entries; capacity ≤ 0
+// disables caching (every Get misses, every Put is dropped).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached body for key and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// the cache is full. The caller must not mutate body afterwards.
+func (c *lruCache) Put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a was just used, so inserting c evicts b (the least recently used).
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should still be cached", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheUpdateAndDisable(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("a", []byte("A2"))
+	if got, _ := c.Get("a"); !bytes.Equal(got, []byte("A2")) {
+		t.Errorf("update not applied: %q", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("duplicate Put grew the cache: len %d", c.Len())
+	}
+
+	off := newLRUCache(-1)
+	off.Put("a", []byte("A"))
+	if _, ok := off.Get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const n = 25
+	gate := make(chan struct{})
+	var fills atomic.Int64
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+				fills.Add(1)
+				<-gate
+				return []byte("body"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	waitForCond(t, func() bool { return fills.Load() == 1 && g.waiters() == n-1 })
+	close(gate)
+	wg.Wait()
+
+	if fills.Load() != 1 {
+		t.Errorf("fills = %d, want 1", fills.Load())
+	}
+	if sharedCount.Load() != n-1 {
+		t.Errorf("shared callers = %d, want %d", sharedCount.Load(), n-1)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, []byte("body")) {
+			t.Errorf("body %d = %q", i, b)
+		}
+	}
+
+	// The key is released after the fill: a new Do runs a new fill.
+	_, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) { return []byte("x"), nil })
+	if err != nil || shared {
+		t.Errorf("post-fill Do: shared=%t err=%v", shared, err)
+	}
+}
+
+func TestFlightGroupWaiterTimeout(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		g.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-gate
+			return []byte("late"), nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.Do(ctx, "k", func() ([]byte, error) {
+		t.Error("canceled waiter must not run a second fill")
+		return nil, nil
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Errorf("shared=%t err=%v, want canceled waiter", shared, err)
+	}
+	close(gate) // leader finishes undisturbed
+}
+
+func TestFlightGroupErrorPropagates(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func waitForCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

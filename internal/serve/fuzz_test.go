@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sramco"
+)
+
+// fuzzServer builds a Server whose heavy compute functions are replaced by
+// canned results from one real tiny run each, so the fuzzer exercises the
+// full decode → normalize → canonical-key → respond path at decoder speed.
+// The /v1/evaluate path stays fully real (a single model evaluation is
+// microseconds).
+func fuzzServer(f *testing.F) *Server {
+	f.Helper()
+	fw := framework(f)
+	s := New(fw, Config{})
+
+	oreq := OptimizeRequest{CapacityBytes: 128, Flavor: "hvt"}
+	if aerr := oreq.normalize(); aerr != nil {
+		f.Fatalf("seed optimize request: %v", aerr)
+	}
+	opts, err := oreq.options()
+	if err != nil {
+		f.Fatal(err)
+	}
+	opt, err := fw.OptimizeWithContext(context.Background(), opts)
+	if err != nil {
+		f.Fatalf("seed optimize: %v", err)
+	}
+	pareto, err := fw.ParetoSearchContext(context.Background(), opts)
+	if err != nil {
+		f.Fatalf("seed pareto: %v", err)
+	}
+	yreq := YieldRequest{Flavor: "hvt", N: 16}
+	if aerr := yreq.normalize(); aerr != nil {
+		f.Fatalf("seed yield request: %v", aerr)
+	}
+	ycfg, err := yreq.config()
+	if err != nil {
+		f.Fatal(err)
+	}
+	yres, err := sramco.MonteCarloYieldContext(context.Background(), ycfg)
+	if err != nil {
+		f.Fatalf("seed yield: %v", err)
+	}
+
+	s.optimizeFn = func(context.Context, sramco.Options) (*sramco.Optimum, error) { return opt, nil }
+	s.paretoFn = func(context.Context, sramco.Options) (*sramco.ParetoResult, error) { return pareto, nil }
+	s.yieldFn = func(context.Context, sramco.MCConfig) (*sramco.MCResult, error) { return yres, nil }
+	return s
+}
+
+// FuzzDecodeRequest throws arbitrary bodies at every /v1/* endpoint. The
+// contract under fuzz: the handler stack never panics, success responses are
+// valid JSON, and every rejection is a structured error envelope with a
+// 4xx/5xx status — malformed input must surface as a 400-class error, not a
+// crash.
+func FuzzDecodeRequest(f *testing.F) {
+	s := fuzzServer(f)
+	h := s.Handler()
+	paths := []string{"/v1/optimize", "/v1/evaluate", "/v1/pareto", "/v1/yield"}
+
+	seeds := []struct {
+		which uint8
+		body  string
+	}{
+		{0, `{"capacity_bytes":128,"flavor":"hvt"}`},
+		{0, `{"capacity_bytes":128,"flavor":"HVT","method":"M2","objective":"edp","alpha":0.5,"beta":0.5,"w":64,"timeout_ms":50}`},
+		{1, `{"nr":32,"nc":64,"w":32,"flavor":"lvt","method":"m2"}`},
+		{2, `{"capacity_bytes":1024,"flavor":"lvt","method":"m2"}`},
+		{3, `{"flavor":"hvt","n":16,"seed":7,"metrics":["hsnm","wm"]}`},
+		{0, ``},                                   // empty body
+		{0, `{`},                                  // truncated JSON
+		{0, `null`},                               // JSON null
+		{0, `[]`},                                 // wrong top-level type
+		{0, `{"capacity_bytes":128}{"x":1}`},      // trailing data
+		{0, `{"capacity_bytes":-5}`},              // negative capacity
+		{0, `{"capacity_bytes":1e30}`},            // overflow
+		{0, `{"capacity_bytes":128,"bogus":1}`},   // unknown field
+		{0, `{"capacity_bytes":128,"w":-1}`},      // invalid width
+		{0, `{"capacity_bytes":128,"alpha":2}`},   // activity out of range
+		{1, `{"nr":0,"nc":0}`},                    // degenerate geometry
+		{1, `{"nr":32,"nc":64,"vddc":-3}`},        // implausible rail
+		{3, `{"flavor":"hvt","n":1}`},             // too few samples
+		{3, `{"flavor":"hvt","n":999999999}`},     // absurd sample count
+		{3, `{"flavor":"hvt","metrics":["bad"]}`}, // unknown metric
+	}
+	for _, s := range seeds {
+		f.Add(s.which, []byte(s.body))
+	}
+
+	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
+		path := paths[int(which)%len(paths)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic here is a fuzz failure
+
+		res := rec.Result()
+		defer res.Body.Close()
+		if res.StatusCode == http.StatusOK {
+			var v map[string]any
+			if err := json.NewDecoder(res.Body).Decode(&v); err != nil {
+				t.Fatalf("%s: 200 with unparseable body: %v", path, err)
+			}
+			return
+		}
+		if res.StatusCode < 400 || res.StatusCode > 599 {
+			t.Fatalf("%s: unexpected status %d for body %q", path, res.StatusCode, body)
+		}
+		var env struct {
+			Error struct {
+				Status  int    `json:"status"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&env); err != nil {
+			t.Fatalf("%s: status %d without structured envelope (body %q): %v",
+				path, res.StatusCode, rec.Body.Bytes(), err)
+		}
+		if env.Error.Message == "" || env.Error.Status != res.StatusCode {
+			t.Fatalf("%s: malformed envelope %+v for status %d", path, env.Error, res.StatusCode)
+		}
+	})
+}

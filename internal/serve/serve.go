@@ -1,0 +1,505 @@
+// Package serve is the sramco optimization service: an HTTP/JSON layer over
+// the co-optimization framework with a bounded LRU result cache, request
+// coalescing, a worker pool with per-request deadlines, and drain-on-
+// shutdown semantics.
+//
+// Endpoints:
+//
+//	POST /v1/optimize  — minimum-objective design search (OptimizeRequest)
+//	POST /v1/evaluate  — analytical model on one explicit design point
+//	POST /v1/pareto    — full energy-delay frontier of the search space
+//	POST /v1/yield     — Monte Carlo margin analysis (YieldRequest)
+//	GET  /healthz      — liveness; 503 once draining
+//	GET  /metrics      — obs registry snapshot (JSON; ?format=prom for
+//	                     Prometheus text exposition)
+//
+// Requests are canonicalized (defaults filled, names lowercased) before
+// anything else happens, and the canonical form is the cache key: two
+// requests that mean the same computation hit the same cache entry no
+// matter how they were spelled. Responses are cached as the exact bytes
+// sent to the first caller, so cache hits are bit-identical to the fill.
+// While a fill is in flight, identical requests coalesce onto it instead
+// of starting their own search.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sramco"
+	"sramco/internal/mc"
+	"sramco/internal/num"
+	"sramco/internal/obs"
+)
+
+// Service metrics. cache.miss counts fills (one per unique in-flight key),
+// not lookups that found nothing: a request that coalesces onto a running
+// fill counts under serve.coalesced only.
+var (
+	mRequests  = obs.NewCounter("serve.requests")
+	mCacheHit  = obs.NewCounter("serve.cache.hit")
+	mCacheMiss = obs.NewCounter("serve.cache.miss")
+	mCoalesced = obs.NewCounter("serve.coalesced")
+	mErrors    = obs.NewCounter("serve.errors")
+	mRejected  = obs.NewCounter("serve.rejected") // refused while draining
+	gInflight  = obs.NewGauge("serve.inflight")
+	hReqDur    = obs.NewHistogram("serve.request_duration")
+)
+
+// errDraining rejects new work once shutdown has begun.
+var errDraining = errors.New("serve: server is draining")
+
+// Config tunes a Server; zero values select the defaults.
+type Config struct {
+	CacheSize int           // LRU result-cache entries (default 256; negative disables)
+	Timeout   time.Duration // per-request compute deadline cap (default 60s)
+	Workers   int           // concurrent optimizer runs (default GOMAXPROCS)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is the optimization service. Create with New, mount Handler on an
+// http.Server, and call Drain before exiting.
+type Server struct {
+	fw  *sramco.Framework
+	cfg Config
+
+	cache  *lruCache
+	flight *flightGroup
+	sem    chan struct{} // worker-pool slots
+
+	// baseCtx parents every compute context, so runs survive individual
+	// client disconnects (other coalesced waiters may still want the
+	// result) but die when the server gives up draining.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	mu        sync.Mutex
+	draining  bool
+	inflight  sync.WaitGroup
+	nInflight atomic.Int64
+
+	mux *http.ServeMux
+
+	// Test seams: the concurrency tests gate these to hold fills open.
+	optimizeFn func(context.Context, sramco.Options) (*sramco.Optimum, error)
+	paretoFn   func(context.Context, sramco.Options) (*sramco.ParetoResult, error)
+	yieldFn    func(context.Context, sramco.MCConfig) (*sramco.MCResult, error)
+}
+
+// New builds a Server over a characterized framework.
+func New(fw *sramco.Framework, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		fw:         fw,
+		cfg:        cfg,
+		cache:      newLRUCache(cfg.CacheSize),
+		flight:     newFlightGroup(),
+		sem:        make(chan struct{}, cfg.Workers),
+		baseCtx:    baseCtx,
+		baseCancel: cancel,
+		optimizeFn: fw.OptimizeWithContext,
+		paretoFn:   fw.ParetoSearchContext,
+		yieldFn:    sramco.MonteCarloYieldContext,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("/v1/pareto", s.handlePareto)
+	s.mux.HandleFunc("/v1/yield", s.handleYield)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting /v1/* requests (healthz flips to 503), waits for
+// every in-flight request to finish, and only then cancels the compute
+// context. If ctx expires first, in-flight runs are canceled and Drain
+// returns the ctx error — work is dropped only when the caller's drain
+// budget runs out, never silently.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel(errDraining)
+		return nil
+	case <-ctx.Done():
+		s.baseCancel(errDraining)
+		<-done // runs unwind promptly once canceled
+		return ctx.Err()
+	}
+}
+
+// admit registers one in-flight request; it fails once draining. The
+// returned release must be called when the request finishes.
+func (s *Server) admit() (release func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		mRejected.Inc()
+		return nil, errDraining
+	}
+	s.inflight.Add(1)
+	gInflight.Set(float64(s.nInflight.Add(1)))
+	return func() {
+		gInflight.Set(float64(s.nInflight.Add(-1)))
+		s.inflight.Done()
+	}, nil
+}
+
+// acquire takes a worker-pool slot, waiting until one frees up or ctx is
+// done.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// effectiveTimeout caps a client-requested deadline by the server's.
+func (s *Server) effectiveTimeout(timeoutMS int) time.Duration {
+	d := s.cfg.Timeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// serveCached is the shared request path of every /v1/* endpoint: admit,
+// consult the cache, coalesce concurrent identical fills, and run the fill
+// on the worker pool under the effective deadline.
+//
+// The fill runs under the server's base context, not the request's: a
+// coalesced fill may outlive the client that started it, and must.
+// waitCtx (the request context plus the per-request deadline) governs only
+// how long this caller waits.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int, fill func(ctx context.Context) (any, error)) {
+	start := time.Now()
+	mRequests.Inc()
+	release, err := s.admit()
+	if err != nil {
+		writeError(w, asAPIError(err))
+		return
+	}
+	defer release()
+	defer func() { hReqDur.Observe(time.Since(start)) }()
+
+	if body, ok := s.cache.Get(key); ok {
+		mCacheHit.Inc()
+		writeBody(w, body, "hit")
+		return
+	}
+
+	timeout := s.effectiveTimeout(timeoutMS)
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), timeout)
+	defer cancelWait()
+
+	body, shared, err := s.flight.Do(waitCtx, key, func() ([]byte, error) {
+		mCacheMiss.Inc()
+		runCtx, cancelRun := context.WithTimeout(s.baseCtx, timeout)
+		defer cancelRun()
+		if err := s.acquire(runCtx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		v, err := fill(runCtx)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("serve: encoding response: %w", err)
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	state := "miss"
+	if shared {
+		mCoalesced.Inc()
+		state = "coalesced"
+	}
+	if err != nil {
+		writeError(w, asAPIError(err))
+		return
+	}
+	writeBody(w, body, state)
+}
+
+// OptimizeResponse is the body of a successful /v1/optimize call. Request
+// echoes the canonical (normalized, deadline-stripped) request that keyed
+// the cache entry.
+type OptimizeResponse struct {
+	Request OptimizeRequest    `json:"request"`
+	Design  sramco.Design      `json:"design"`
+	EDP     float64            `json:"edp_js"`
+	DelayS  float64            `json:"delay_s"`
+	EnergyJ float64            `json:"energy_j"`
+	Result  *sramco.Result     `json:"result"`
+	Stats   sramco.SearchStats `json:"search_stats"`
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if aerr := req.normalize(); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	timeoutMS := req.TimeoutMS
+	req.TimeoutMS = 0 // the deadline shapes the wait, not the computation
+	s.serveCached(w, r, req.key("optimize"), timeoutMS, func(ctx context.Context) (any, error) {
+		opts, err := req.options()
+		if err != nil {
+			return nil, err
+		}
+		opt, err := s.optimizeFn(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &OptimizeResponse{
+			Request: req,
+			Design:  opt.Best.Design,
+			EDP:     opt.Best.Result.EDP,
+			DelayS:  opt.Best.Result.DArray,
+			EnergyJ: opt.Best.Result.EArray,
+			Result:  opt.Best.Result,
+			Stats:   opt.Stats,
+		}, nil
+	})
+}
+
+// EvaluateResponse is the body of a successful /v1/evaluate call.
+type EvaluateResponse struct {
+	Request EvaluateRequest `json:"request"`
+	EDP     float64         `json:"edp_js"`
+	DelayS  float64         `json:"delay_s"`
+	EnergyJ float64         `json:"energy_j"`
+	Result  *sramco.Result  `json:"result"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if aerr := req.normalize(); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.serveCached(w, r, req.key(), 0, func(ctx context.Context) (any, error) {
+		flavor, design, act, err := req.design(s.fw)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.fw.Evaluate(flavor, design, act)
+		if err != nil {
+			// The model rejects structurally invalid points with plain
+			// errors; surface them as client errors, not 500s.
+			return nil, badRequest("%v", err)
+		}
+		return &EvaluateResponse{
+			Request: req,
+			EDP:     res.EDP,
+			DelayS:  res.DArray,
+			EnergyJ: res.EArray,
+			Result:  res,
+		}, nil
+	})
+}
+
+// ParetoResponse is the body of a successful /v1/pareto call.
+type ParetoResponse struct {
+	Request OptimizeRequest      `json:"request"`
+	Front   []sramco.DesignPoint `json:"front"`
+	Stats   sramco.SearchStats   `json:"search_stats"`
+}
+
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if aerr := req.normalize(); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	timeoutMS := req.TimeoutMS
+	req.TimeoutMS = 0
+	s.serveCached(w, r, req.key("pareto"), timeoutMS, func(ctx context.Context) (any, error) {
+		opts, err := req.options()
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.paretoFn(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &ParetoResponse{Request: req, Front: res.Front, Stats: res.Stats}, nil
+	})
+}
+
+// YieldResponse is the body of a successful /v1/yield call: the margin
+// summaries and the paper's yield statistics, without the raw samples.
+type YieldResponse struct {
+	Request YieldRequest `json:"request"`
+	Samples int          `json:"samples"`
+
+	HSNM *num.Summary `json:"hsnm,omitempty"`
+	RSNM *num.Summary `json:"rsnm,omitempty"`
+	WM   *num.Summary `json:"wm,omitempty"`
+
+	// MuMinus3Sigma is the paper's μ−3σ yield statistic per computed metric.
+	MuMinus3Sigma map[string]float64 `json:"mu_minus_3sigma"`
+	// DeltaV is the yield requirement δ = 0.35·Vdd; FailFraction is the
+	// fraction of samples whose minimum margin falls below it.
+	DeltaV       float64 `json:"delta_v"`
+	FailFraction float64 `json:"fail_fraction"`
+}
+
+func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
+	var req YieldRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	if aerr := req.normalize(); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	timeoutMS := req.TimeoutMS
+	req.TimeoutMS = 0
+	s.serveCached(w, r, req.key(), timeoutMS, func(ctx context.Context) (any, error) {
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.yieldFn(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resp := &YieldResponse{
+			Request:       req,
+			Samples:       len(res.Samples),
+			MuMinus3Sigma: map[string]float64{},
+			DeltaV:        sramco.Delta(),
+			FailFraction:  res.FailFraction(sramco.Delta()),
+		}
+		if cfg.Metrics&mc.HSNM != 0 {
+			s := res.HSNM
+			resp.HSNM = &s
+			resp.MuMinus3Sigma["hsnm"] = mc.MuMinusKSigma(s, 3)
+		}
+		if cfg.Metrics&mc.RSNM != 0 {
+			s := res.RSNM
+			resp.RSNM = &s
+			resp.MuMinus3Sigma["rsnm"] = mc.MuMinusKSigma(s, 3)
+		}
+		if cfg.Metrics&mc.WM != 0 {
+			s := res.WM
+			resp.WM = &s
+			resp.MuMinus3Sigma["wm"] = mc.MuMinusKSigma(s, 3)
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default().Snapshot()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := snap.WriteProm(w); err != nil {
+			mErrors.Inc()
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := snap.WriteJSON(w); err != nil {
+		mErrors.Inc()
+	}
+}
+
+// decodePost enforces POST and strict-decodes the body into dst, writing
+// the error response itself when it returns false.
+func decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Message: "use POST with a JSON body"})
+		return false
+	}
+	if aerr := decodeJSON(r.Body, dst); aerr != nil {
+		writeError(w, aerr)
+		return false
+	}
+	return true
+}
+
+// errorEnvelope is the structured body of every non-2xx response.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, aerr *apiError) {
+	mErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(aerr.Status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: *aerr})
+}
+
+func writeBody(w http.ResponseWriter, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	_, _ = w.Write(body)
+}
+
+// isDeadline reports whether err is (or wraps) a deadline expiry.
+func isDeadline(err error) bool { return errors.Is(err, context.DeadlineExceeded) }
+
+// isCanceled reports whether err is (or wraps) a context cancellation.
+func isCanceled(err error) bool { return errors.Is(err, context.Canceled) }

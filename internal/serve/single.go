@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent work by key: while a fill for a key is
+// in flight, later callers wait for its result instead of starting their
+// own. Unlike golang.org/x/sync/singleflight (which this deliberately
+// mirrors in miniature, as the module takes no dependencies), a waiter
+// whose own context expires stops waiting without disturbing the leader —
+// the fill keeps running for everyone else.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+
+	// nWaiters counts callers currently coalesced onto some in-flight
+	// fill; tests use it to know every concurrent caller has attached.
+	nWaiters atomic.Int64
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the fill finishes
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key among concurrent callers. The leader executes fn
+// and broadcasts the result; coalesced callers block until the fill
+// finishes or their ctx is done. shared reports whether this caller
+// coalesced onto another's fill (false for the leader).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.nWaiters.Add(1)
+		defer g.nWaiters.Add(-1)
+		select {
+		case <-c.done:
+			return c.body, true, c.err
+		case <-ctx.Done():
+			return nil, true, context.Cause(ctx)
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, false, c.err
+}
+
+// waiters returns the number of callers currently waiting on some fill.
+func (g *flightGroup) waiters() int { return int(g.nWaiters.Load()) }

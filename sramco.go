@@ -62,6 +62,10 @@ type (
 	EnergyAccounting = array.EnergyAccounting
 	// Options configures a single optimization run in full detail.
 	Options = core.Options
+	// SearchSpace bounds the exhaustive search (§5 ranges).
+	SearchSpace = core.SearchSpace
+	// Objective maps an evaluated design to the scalar being minimized.
+	Objective = core.Objective
 	// Optimum is the outcome of an optimization run.
 	Optimum = core.Optimum
 	// SearchStats records the observability counters of a search run
@@ -104,6 +108,23 @@ const (
 
 // Delta returns the paper's minimum acceptable noise margin δ = 0.35·Vdd.
 func Delta() float64 { return core.DefaultDelta(Vdd) }
+
+// DefaultSearchSpace returns the paper's §5 variable ranges — the space
+// Optimize sweeps when Options.Space is zero.
+func DefaultSearchSpace() SearchSpace { return core.DefaultSpace() }
+
+// ParseFlavor parses "lvt"/"hvt" (case-insensitive) into a Flavor; the
+// canonical inverse of Flavor.String, shared by the CLIs and the serving
+// layer's request canonicalization.
+func ParseFlavor(s string) (Flavor, error) { return device.ParseFlavor(s) }
+
+// ParseMethod parses "m1"/"m2" (case-insensitive) into a Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ObjectiveByName maps "edp" (or ""), "delay" and "energy" to the built-in
+// search objectives. The name, not the function, is the canonical form used
+// in serialized requests and cache keys.
+func ObjectiveByName(name string) (Objective, bool) { return core.ObjectiveByName(name) }
 
 // ErrInfeasible is wrapped by every "no feasible design" search failure;
 // test with errors.Is to distinguish an empty feasible region from a model
@@ -285,6 +306,12 @@ func (f *Framework) ParetoFront(opts Options) ([]DesignPoint, error) {
 // alongside the frontier, mirroring what Optimize reports.
 func (f *Framework) ParetoSearch(opts Options) (*ParetoResult, error) {
 	return f.core.ParetoSearch(opts)
+}
+
+// ParetoSearchContext is ParetoSearch with cancellation threaded through
+// every chunk of the sweep.
+func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*ParetoResult, error) {
+	return f.core.ParetoSearchContext(ctx, opts)
 }
 
 // CornerRow and TempRow are the extension-experiment row types.
