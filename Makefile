@@ -2,7 +2,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check race-core race-serve vet-obs fuzz-smoke bench bench-compare
+.PHONY: build test check race-core race-serve vet-obs fuzz-smoke bench bench-compare catalog
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ race-serve:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeRequest -fuzztime=$(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=$(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz=FuzzConfigNormalize -fuzztime=$(FUZZTIME) ./internal/mc/
 	$(GO) test -fuzz=FuzzOptionsNormalize -fuzztime=$(FUZZTIME) ./internal/core/
 
@@ -57,7 +58,15 @@ BENCH_BASELINE = $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -n 1)
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_<date>.json baseline; run 'make bench' first"; exit 1; }
 	$(GO) test -json -bench='^(BenchmarkExhaustiveSearch16KB|BenchmarkModelEvaluation)$$' -benchmem -run='^$$' . > bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
-	$(GO) test -json -bench='^BenchmarkServeOptimizeCached$$' -benchmem -run='^$$' ./internal/serve/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) test -json -bench='^(BenchmarkServeOptimizeCached|BenchmarkBatch64)$$' -benchmem -run='^$$' ./internal/serve/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) test -json -bench='^BenchmarkCatalogLookup$$' -benchmem -run='^$$' ./internal/catalog/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) run ./cmd/benchcompare -baseline $(BENCH_BASELINE) -current bench_current.tmp.json \
-		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation BenchmarkServeOptimizeCached; \
+		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation BenchmarkServeOptimizeCached \
+		BenchmarkBatch64 BenchmarkCatalogLookup; \
 		status=$$?; rm -f bench_current.tmp.json; exit $$status
+
+# catalog precomputes the default design-space grid into catalog.bin; sramd
+# loads it with -catalog and answers grid lookups without running a search.
+CATALOG ?= catalog.bin
+catalog:
+	$(GO) run ./cmd/sramcat build -o $(CATALOG)

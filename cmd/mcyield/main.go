@@ -67,8 +67,9 @@ func main() {
 
 	reg := obs.Default()
 	stopProgress := obsFlags.StartProgress(func() string {
-		return fmt.Sprintf("mc: sample %d/%d",
-			reg.CounterValue("mc.samples.done"), int64(reg.GaugeValue("mc.samples.total")))
+		// The total comes from the flag, not mc.samples.total: the gauge is
+		// an in-flight total shared across concurrent runs.
+		return fmt.Sprintf("mc: sample %d/%d", reg.CounterValue("mc.samples.done"), *n)
 	})
 	res, err := mc.RunContext(ctx, mc.Config{
 		Flavor: flavor, N: *n, SigmaVt: *sigma, Seed: *seed,

@@ -6,9 +6,17 @@
 // Usage:
 //
 //	sramd [-addr :8347] [-mode paper] [-cache 256] [-workers N]
-//	      [-timeout 60s] [-drain-timeout 30s]
+//	      [-timeout 60s] [-drain-timeout 30s] [-catalog catalog.bin]
 //	      [-trace out.jsonl] [-metrics] [-debug]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// With -catalog, sramd serves /v1/optimize and /v1/pareto lookups for the
+// standard design-space grid straight from the precomputed catalog file
+// (built with sramcat, see internal/catalog). A missing or stale catalog —
+// one whose technology fingerprint no longer matches the current device
+// library — is recomputed in the background and atomically swapped in (and
+// rewritten to the file) once ready; the server answers from live search in
+// the meantime.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"sramco"
+	"sramco/internal/catalog"
 	"sramco/internal/cliutil"
 	"sramco/internal/serve"
 )
@@ -36,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent optimizer runs (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
+	catalogPath := flag.String("catalog", "", "precomputed design-space catalog file (missing or stale: rebuilt in the background)")
 	obsFlags := cliutil.ObsFlags()
 	flag.Parse()
 
@@ -71,6 +81,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *catalogPath != "" {
+		setupCatalog(ctx, srv, fw, *catalogPath)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "sramd: listening on %s\n", *addr)
@@ -97,4 +111,37 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "sramd: drained cleanly")
 	cliutil.Shutdown()
+}
+
+// setupCatalog installs the catalog at path if it matches the framework's
+// technology fingerprint; otherwise it recomputes the default grid in the
+// background (canceled by shutdown), swaps the result in atomically and
+// rewrites the file. The server runs on live search until the swap.
+func setupCatalog(ctx context.Context, srv *serve.Server, fw *sramco.Framework, path string) {
+	cat, err := catalog.Load(path)
+	switch {
+	case err == nil && cat.Fingerprint() == fw.Fingerprint():
+		srv.SetCatalog(cat)
+		fmt.Fprintf(os.Stderr, "sramd: catalog %s loaded (%d entries)\n", path, cat.Len())
+		return
+	case err == nil:
+		fmt.Fprintf(os.Stderr, "sramd: catalog %s is stale (technology changed), recomputing in background\n", path)
+	case os.IsNotExist(err):
+		fmt.Fprintf(os.Stderr, "sramd: catalog %s missing, computing in background\n", path)
+	default:
+		fmt.Fprintf(os.Stderr, "sramd: catalog %s unreadable (%v), recomputing in background\n", path, err)
+	}
+	go func() {
+		cat, err := srv.BuildCatalog(ctx, serve.DefaultCatalogGrid())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sramd: catalog build failed: %v\n", err)
+			return
+		}
+		srv.SetCatalog(cat)
+		if err := cat.WriteFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "sramd: writing catalog %s: %v\n", path, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sramd: catalog rebuilt and saved to %s (%d entries)\n", path, cat.Len())
+	}()
 }

@@ -1,0 +1,38 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCatalogLookup measures the catalog-backed serving hot path: one
+// key lookup against a realistic grid-sized catalog. The acceptance budget
+// is ≤ 1 µs/op; a map probe over interned subslices is ~50 ns.
+func BenchmarkCatalogLookup(b *testing.B) {
+	bld := NewBuilder(testFingerprint())
+	var keys []string
+	for cap := 1024; cap <= 16384; cap *= 2 {
+		for _, flavor := range []string{"lvt", "hvt"} {
+			for _, method := range []string{"m1", "m2"} {
+				for _, obj := range []string{"edp", "delay", "energy"} {
+					key := fmt.Sprintf("optimize|cap=%d|flavor=%s|method=%s|obj=%s|dwl=false|alpha=0.5|beta=0.5|w=64",
+						cap, flavor, method, obj)
+					if err := bld.Add(key, []byte(`{"edp_js":1.4e-21,"delay_s":2.5e-10}`)); err != nil {
+						b.Fatal(err)
+					}
+					keys = append(keys, key)
+				}
+			}
+		}
+	}
+	c, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(keys[i%len(keys)]); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package catalog implements the precomputed design-space catalog: a
+// versioned, read-only store of canonical serving responses keyed by the
+// technology fingerprint of the framework that produced them.
+//
+// The whole search space of the paper is small — per (capacity, flavor,
+// method) roughly 150k points at ~50 ns each — so every standard-grid
+// optimum and Pareto front can be precomputed and served at O(1) per
+// lookup. A catalog is one flat byte image: a fixed header carrying the
+// format version and the 32-byte technology fingerprint, followed by
+// length-prefixed (key, body) entries sorted by key, closed by a CRC-32 of
+// everything before it. Loading builds a map from key to a subslice of the
+// image — no per-entry copies, mmap-friendly — and lookups are a single map
+// probe. Encoding is deterministic: the same entries always produce the
+// same bytes, so catalog files diff and cache cleanly.
+//
+// Bodies are opaque bytes. The serving layer stores the exact marshaled
+// response it would write on a cache miss, which makes catalog hits
+// bit-identical to live fills by construction (DESIGN.md §9).
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Version is the on-disk format version; it participates in the magic so a
+// reader never misparses a future layout.
+const Version = 1
+
+// magic opens every catalog file: format name plus version byte.
+var magic = [8]byte{'S', 'R', 'A', 'M', 'C', 'A', 'T', Version}
+
+const (
+	headerLen  = 8 + 32 + 4 // magic + fingerprint + entry count
+	trailerLen = 4          // CRC-32 (IEEE) of everything before it
+	// maxEntries bounds decode-time allocation on corrupt or hostile
+	// inputs; the real grid is a few dozen entries.
+	maxEntries = 1 << 20
+)
+
+// Catalog is a loaded, immutable design-space catalog. Safe for concurrent
+// use: lookups never mutate state.
+type Catalog struct {
+	fpr   [32]byte
+	data  []byte            // the encoded image; bodies alias into it
+	index map[string][]byte // key → body subslice
+	keys  []string          // sorted
+}
+
+// Builder accumulates entries for encoding into a Catalog.
+type Builder struct {
+	fpr [32]byte
+	m   map[string][]byte
+}
+
+// NewBuilder starts an empty catalog for a technology fingerprint.
+func NewBuilder(fingerprint [32]byte) *Builder {
+	return &Builder{fpr: fingerprint, m: make(map[string][]byte)}
+}
+
+// Add stores body under key. Keys must be non-empty and unique; bodies must
+// be non-empty (a catalog holds only successful responses).
+func (b *Builder) Add(key string, body []byte) error {
+	if key == "" {
+		return fmt.Errorf("catalog: empty key")
+	}
+	if len(body) == 0 {
+		return fmt.Errorf("catalog: empty body for key %q", key)
+	}
+	if _, ok := b.m[key]; ok {
+		return fmt.Errorf("catalog: duplicate key %q", key)
+	}
+	b.m[key] = body
+	return nil
+}
+
+// Len returns the number of entries added so far.
+func (b *Builder) Len() int { return len(b.m) }
+
+// Encode serializes the entries into the flat catalog image. Deterministic:
+// entries are written in sorted key order.
+func (b *Builder) Encode() []byte {
+	keys := make([]string, 0, len(b.m))
+	size := headerLen + trailerLen
+	for k, v := range b.m {
+		keys = append(keys, k)
+		size += 8 + len(k) + len(v)
+	}
+	sort.Strings(keys)
+
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic[:]...)
+	buf = append(buf, b.fpr[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		v := b.m[k]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, k...)
+		buf = append(buf, v...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// Build encodes the entries and loads them back as a Catalog, sharing no
+// state with the Builder.
+func (b *Builder) Build() (*Catalog, error) { return Decode(b.Encode()) }
+
+// Decode parses a catalog image. The image is retained: entry bodies alias
+// into it, so the caller must not mutate data afterwards.
+func Decode(data []byte) (*Catalog, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("catalog: image truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != string(magic[:]) {
+		return nil, fmt.Errorf("catalog: bad magic %q (format version mismatch?)", data[:8])
+	}
+	payload, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("catalog: checksum mismatch (file %08x, computed %08x)", got, want)
+	}
+	c := &Catalog{data: data}
+	copy(c.fpr[:], data[8:40])
+	count := binary.LittleEndian.Uint32(data[40:44])
+	if count > maxEntries {
+		return nil, fmt.Errorf("catalog: implausible entry count %d", count)
+	}
+	c.index = make(map[string][]byte, count)
+	c.keys = make([]string, 0, count)
+	off := headerLen
+	for i := uint32(0); i < count; i++ {
+		if off+8 > len(payload) {
+			return nil, fmt.Errorf("catalog: entry %d header past end of image", i)
+		}
+		kLen := int(binary.LittleEndian.Uint32(payload[off : off+4]))
+		vLen := int(binary.LittleEndian.Uint32(payload[off+4 : off+8]))
+		off += 8
+		if kLen <= 0 || vLen <= 0 || off+kLen+vLen > len(payload) {
+			return nil, fmt.Errorf("catalog: entry %d (%d+%d bytes) past end of image", i, kLen, vLen)
+		}
+		key := string(payload[off : off+kLen])
+		if _, dup := c.index[key]; dup {
+			return nil, fmt.Errorf("catalog: duplicate key %q", key)
+		}
+		c.index[key] = payload[off+kLen : off+kLen+vLen : off+kLen+vLen]
+		c.keys = append(c.keys, key)
+		off += kLen + vLen
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("catalog: %d trailing bytes after last entry", len(payload)-off)
+	}
+	sort.Strings(c.keys)
+	return c, nil
+}
+
+// Load reads and decodes the catalog at path.
+func Load(path string) (*Catalog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// WriteFile persists the catalog image atomically: it writes a temporary
+// file in the destination directory and renames it over path, so readers
+// never observe a torn catalog.
+func (c *Catalog) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(c.data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Fingerprint returns the technology fingerprint the catalog was built for.
+func (c *Catalog) Fingerprint() [32]byte { return c.fpr }
+
+// Len returns the number of entries.
+func (c *Catalog) Len() int { return len(c.index) }
+
+// Size returns the encoded image size in bytes.
+func (c *Catalog) Size() int { return len(c.data) }
+
+// Keys returns the entry keys in sorted order. The caller must not mutate
+// the returned slice.
+func (c *Catalog) Keys() []string { return c.keys }
+
+// Lookup returns the stored body for key. The returned bytes alias the
+// catalog image and must not be mutated.
+func (c *Catalog) Lookup(key string) ([]byte, bool) {
+	body, ok := c.index[key]
+	return body, ok
+}

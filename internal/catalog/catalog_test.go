@@ -1,0 +1,156 @@
+package catalog
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func testFingerprint() [32]byte {
+	var fp [32]byte
+	for i := range fp {
+		fp[i] = byte(i * 7)
+	}
+	return fp
+}
+
+func buildTest(t *testing.T, n int) *Catalog {
+	t.Helper()
+	b := NewBuilder(testFingerprint())
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("optimize|cap=%d|flavor=hvt|method=m2|obj=edp|dwl=false|alpha=0.5|beta=0.5|w=64", 1<<i)
+		body := []byte(fmt.Sprintf(`{"edp_js":%d.5e-21,"entry":%d}`, i, i))
+		if err := b.Add(key, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := buildTest(t, 12)
+	if c.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", c.Len())
+	}
+	if c.Fingerprint() != testFingerprint() {
+		t.Error("fingerprint did not survive the round trip")
+	}
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("optimize|cap=%d|flavor=hvt|method=m2|obj=edp|dwl=false|alpha=0.5|beta=0.5|w=64", 1<<i)
+		body, ok := c.Lookup(key)
+		if !ok {
+			t.Fatalf("entry %d missing", i)
+		}
+		want := []byte(fmt.Sprintf(`{"edp_js":%d.5e-21,"entry":%d}`, i, i))
+		if !bytes.Equal(body, want) {
+			t.Errorf("entry %d body = %s, want %s", i, body, want)
+		}
+	}
+	if _, ok := c.Lookup("optimize|cap=12345"); ok {
+		t.Error("lookup of an absent key succeeded")
+	}
+	keys := c.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("Keys not sorted")
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	// Two builders fed the same entries in different orders must encode the
+	// same bytes.
+	mk := func(order []int) []byte {
+		b := NewBuilder(testFingerprint())
+		for _, i := range order {
+			if err := b.Add(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("body-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.Encode()
+	}
+	if !bytes.Equal(mk([]int{0, 1, 2, 3}), mk([]int{3, 1, 0, 2})) {
+		t.Error("encoding depends on insertion order")
+	}
+}
+
+func TestBuilderRejectsBadEntries(t *testing.T) {
+	b := NewBuilder(testFingerprint())
+	if err := b.Add("", []byte("x")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := b.Add("k", nil); err == nil {
+		t.Error("empty body accepted")
+	}
+	if err := b.Add("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("k", []byte("y")); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	img := append([]byte(nil), buildTest(t, 4).data...)
+	if _, err := Decode(img[:10]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	for _, off := range []int{0, 9, 41, 50, len(img) - 2} {
+		bad := append([]byte(nil), img...)
+		bad[off] ^= 0xFF
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("flipping byte %d went undetected", off)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), img...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestEmptyCatalog(t *testing.T) {
+	c, err := NewBuilder(testFingerprint()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Lookup("anything"); ok {
+		t.Error("lookup in empty catalog succeeded")
+	}
+}
+
+func TestWriteFileLoad(t *testing.T) {
+	c := buildTest(t, 8)
+	path := filepath.Join(t.TempDir(), "catalog.bin")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != c.Fingerprint() || got.Len() != c.Len() {
+		t.Errorf("loaded catalog differs: %d entries", got.Len())
+	}
+	if !bytes.Equal(got.data, c.data) {
+		t.Error("loaded image not byte-identical")
+	}
+	// Overwriting must be atomic-rename clean (no error, new content wins).
+	c2 := buildTest(t, 3)
+	if err := c2.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Len() != 3 {
+		t.Errorf("overwritten catalog has %d entries, want 3", got2.Len())
+	}
+}

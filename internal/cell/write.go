@@ -1,12 +1,20 @@
 package cell
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"sramco/internal/circuit"
 	"sramco/internal/obs"
 )
+
+// ErrWriteFail reports that the cell does not flip even with the wordline at
+// the full applied bias — the write margin is ≤ 0. It is a legitimate
+// characterization outcome (a failing Monte Carlo sample, an infeasible
+// assist level), not a solver failure; callers distinguish it from
+// infrastructure errors with errors.Is.
+var ErrWriteFail = errors.New("write margin ≤ 0")
 
 // WriteTripWL returns the minimum wordline voltage that flips a cell holding
 // '1' on Q when BL is driven to b.VBL (writing a '0'). The paper defines the
@@ -58,7 +66,7 @@ func (c *Cell) WriteTripWL(b WriteBias) (float64, error) {
 		return 0, fmt.Errorf("cell: write trip at WL=%g: %w", hi, err)
 	}
 	if !fh {
-		return 0, fmt.Errorf("cell: write fails even at WL=%gV (write margin ≤ 0)", hi)
+		return 0, fmt.Errorf("cell: write fails even at WL=%gV: %w", hi, ErrWriteFail)
 	}
 	for i := 0; i < 28; i++ {
 		mid := 0.5 * (lo + hi)

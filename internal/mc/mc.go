@@ -11,6 +11,7 @@ package mc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,14 +28,24 @@ import (
 
 // Monte Carlo run metrics: total/done counts drive progress tickers; the
 // histogram records per-sample wall time. Sample counts are deterministic
-// for a given Config regardless of GOMAXPROCS.
+// for a given Config regardless of GOMAXPROCS. mc.samples.total is the
+// number of samples belonging to runs currently in flight — each run adds
+// its N on entry and subtracts it on exit, so concurrent runs compose
+// instead of clobbering each other. mc.samples.writefail counts samples
+// whose write margin was ≤ 0 (a legitimate fail draw, not a solver error).
 var (
 	mRuns         = obs.NewCounter("mc.runs")
 	mSamplesDone  = obs.NewCounter("mc.samples.done")
 	mSampleFails  = obs.NewCounter("mc.samples.errors")
+	mWriteFails   = obs.NewCounter("mc.samples.writefail")
 	gSamplesTotal = obs.NewGauge("mc.samples.total")
 	hSampleDur    = obs.NewHistogram("mc.sample_duration")
 )
+
+// writeMarginFn is a test seam over (*cell.Cell).WriteMargin: the package
+// tests swap it to gate samples and to inject infrastructure errors that the
+// real simulator cannot be made to produce deterministically.
+var writeMarginFn = (*cell.Cell).WriteMargin
 
 // DefaultSigmaVt is the per-device threshold σ (V) for a single 7 nm fin;
 // single-fin devices maximize variability, which is why the paper requires
@@ -151,7 +162,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	errs := make([]error, cfg.N)
 
 	mRuns.Inc()
-	gSamplesTotal.Set(float64(cfg.N))
+	// The gauge is a shared in-flight total: delta it rather than Set it, so
+	// two overlapping runs (e.g. concurrent /v1/yield requests) report
+	// N1+N2 pending samples instead of whichever run registered last.
+	gSamplesTotal.Add(float64(cfg.N))
+	defer gSamplesTotal.Add(-float64(cfg.N))
 	runSpan := obs.StartSpan("mc.run")
 	runSpan.Int("n", int64(cfg.N))
 	runSpan.Int("seed", cfg.Seed)
@@ -244,10 +259,16 @@ func runSample(lib *device.Library, cfg Config, i int) (Sample, error) {
 		}
 	}
 	if cfg.Metrics&WM != 0 {
-		if s.WM, err = c.WriteMargin(cfg.Write); err != nil {
-			// A write margin ≤ 0 (write fails at the applied VWL) is a
-			// legitimate fail sample, not an infrastructure error.
+		if s.WM, err = writeMarginFn(c, cfg.Write); err != nil {
+			if !errors.Is(err, cell.ErrWriteFail) {
+				// A real solver/infrastructure failure must surface, not be
+				// folded into the yield statistics as a zero margin.
+				return s, fmt.Errorf("WM: %w", err)
+			}
+			// The cell does not flip at the applied VWL: a legitimate fail
+			// sample with zero write margin.
 			s.WM = 0
+			mWriteFails.Inc()
 		}
 	}
 	return s, nil

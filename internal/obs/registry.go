@@ -37,6 +37,20 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the last stored value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Add atomically adds delta to the gauge and returns the new value. It lets
+// several concurrent owners share one gauge as an in-flight total: each adds
+// its contribution on entry and subtracts it on exit, instead of clobbering
+// the others with Set.
+func (g *Gauge) Add(delta float64) float64 {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}
+
 func (g *Gauge) reset() { g.bits.Store(0) }
 
 // histBuckets is the fixed log-spaced duration bucket ladder shared by all

@@ -5,8 +5,17 @@ import (
 	"sync"
 )
 
+// cached is one cacheable response: the HTTP status plus the exact bytes
+// written to the first caller. Deterministic failures (422 infeasible
+// envelopes) cache exactly like successes — the status rides along so a hit
+// replays the original response verbatim.
+type cached struct {
+	status int
+	body   []byte
+}
+
 // lruCache is a bounded least-recently-used cache from canonical request
-// keys to marshaled response bodies. Storing the exact bytes written to the
+// keys to marshaled responses. Storing the exact bytes written to the
 // first caller guarantees every later hit is bit-identical to the original
 // response. Safe for concurrent use.
 type lruCache struct {
@@ -17,8 +26,8 @@ type lruCache struct {
 }
 
 type lruEntry struct {
-	key  string
-	body []byte
+	key string
+	res cached
 }
 
 // newLRUCache returns a cache bounded to capacity entries; capacity ≤ 0
@@ -27,21 +36,21 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// Get returns the cached body for key and marks it most recently used.
-func (c *lruCache) Get(key string) ([]byte, bool) {
+// Get returns the cached response for key and marks it most recently used.
+func (c *lruCache) Get(key string) (cached, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
-		return nil, false
+		return cached{}, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).body, true
+	return el.Value.(*lruEntry).res, true
 }
 
-// Put stores body under key, evicting the least recently used entry when
-// the cache is full. The caller must not mutate body afterwards.
-func (c *lruCache) Put(key string, body []byte) {
+// Put stores res under key, evicting the least recently used entry when
+// the cache is full. The caller must not mutate res.body afterwards.
+func (c *lruCache) Put(key string, res cached) {
 	if c.cap <= 0 {
 		return
 	}
@@ -49,10 +58,10 @@ func (c *lruCache) Put(key string, body []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).body = body
+		el.Value.(*lruEntry).res = res
 		return
 	}
-	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)

@@ -4,21 +4,24 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
+func ok200(body string) cached { return cached{status: http.StatusOK, body: []byte(body)} }
+
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.Put("a", []byte("A"))
-	c.Put("b", []byte("B"))
+	c.Put("a", ok200("A"))
+	c.Put("b", ok200("B"))
 	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a missing before capacity reached")
 	}
 	// a was just used, so inserting c evicts b (the least recently used).
-	c.Put("c", []byte("C"))
+	c.Put("c", ok200("C"))
 	if _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}
@@ -34,19 +37,28 @@ func TestLRUCacheEviction(t *testing.T) {
 
 func TestLRUCacheUpdateAndDisable(t *testing.T) {
 	c := newLRUCache(2)
-	c.Put("a", []byte("A"))
-	c.Put("a", []byte("A2"))
-	if got, _ := c.Get("a"); !bytes.Equal(got, []byte("A2")) {
-		t.Errorf("update not applied: %q", got)
+	c.Put("a", ok200("A"))
+	c.Put("a", ok200("A2"))
+	if got, _ := c.Get("a"); !bytes.Equal(got.body, []byte("A2")) {
+		t.Errorf("update not applied: %q", got.body)
 	}
 	if c.Len() != 1 {
 		t.Errorf("duplicate Put grew the cache: len %d", c.Len())
 	}
 
 	off := newLRUCache(-1)
-	off.Put("a", []byte("A"))
+	off.Put("a", ok200("A"))
 	if _, ok := off.Get("a"); ok {
 		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestLRUCacheKeepsStatus(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("bad", cached{status: http.StatusUnprocessableEntity, body: []byte(`{"error":{}}`)})
+	got, ok := c.Get("bad")
+	if !ok || got.status != http.StatusUnprocessableEntity {
+		t.Errorf("cached status = %d ok=%t, want 422", got.status, ok)
 	}
 }
 
@@ -63,10 +75,10 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+			res, shared, err := g.Do(context.Background(), "k", func() (cached, error) {
 				fills.Add(1)
 				<-gate
-				return []byte("body"), nil
+				return ok200("body"), nil
 			})
 			if err != nil {
 				t.Errorf("Do: %v", err)
@@ -74,7 +86,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 			if shared {
 				sharedCount.Add(1)
 			}
-			bodies[i] = body
+			bodies[i] = res.body
 		}(i)
 	}
 	waitForCond(t, func() bool { return fills.Load() == 1 && g.waiters() == n-1 })
@@ -94,7 +106,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 
 	// The key is released after the fill: a new Do runs a new fill.
-	_, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) { return []byte("x"), nil })
+	_, shared, err := g.Do(context.Background(), "k", func() (cached, error) { return ok200("x"), nil })
 	if err != nil || shared {
 		t.Errorf("post-fill Do: shared=%t err=%v", shared, err)
 	}
@@ -105,19 +117,19 @@ func TestFlightGroupWaiterTimeout(t *testing.T) {
 	gate := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		g.Do(context.Background(), "k", func() ([]byte, error) {
+		g.Do(context.Background(), "k", func() (cached, error) {
 			close(started)
 			<-gate
-			return []byte("late"), nil
+			return ok200("late"), nil
 		})
 	}()
 	<-started
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, shared, err := g.Do(ctx, "k", func() ([]byte, error) {
+	_, shared, err := g.Do(ctx, "k", func() (cached, error) {
 		t.Error("canceled waiter must not run a second fill")
-		return nil, nil
+		return cached{}, nil
 	})
 	if !shared || !errors.Is(err, context.Canceled) {
 		t.Errorf("shared=%t err=%v, want canceled waiter", shared, err)
@@ -128,7 +140,7 @@ func TestFlightGroupWaiterTimeout(t *testing.T) {
 func TestFlightGroupErrorPropagates(t *testing.T) {
 	g := newFlightGroup()
 	boom := errors.New("boom")
-	_, _, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	_, _, err := g.Do(context.Background(), "k", func() (cached, error) { return cached{}, boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
 	}

@@ -128,3 +128,70 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch throws arbitrary NDJSON bodies at the /v1/batch decoder.
+// The contract: decodeBatch never panics; it either rejects the whole batch
+// with a 400 apiError or returns at least one item, and every returned item
+// is internally consistent — op-tagged with exactly the matching request
+// populated, and a canonical key that is stable under re-normalization.
+func FuzzDecodeBatch(f *testing.F) {
+	seeds := []string{
+		`{"op":"optimize","capacity_bytes":128,"flavor":"hvt"}`,
+		`{"op":"evaluate","flavor":"hvt","nr":32,"nc":32,"npre":1,"nwr":1}`,
+		`{"op":"pareto","capacity_bytes":1024,"flavor":"lvt","method":"m1"}`,
+		"{\"op\":\"optimize\",\"capacity_bytes\":128,\"flavor\":\"HVT\",\"timeout_ms\":50}\n\n{\"op\":\"evaluate\",\"flavor\":\"lvt\",\"nr\":16,\"nc\":16,\"npre\":1,\"nwr\":1}",
+		"",
+		"\n\n",
+		"nope",
+		`{"op":"optimize"`,
+		`{"op":""}`,
+		`{"op":"yield","flavor":"hvt"}`,
+		`{"capacity_bytes":128,"flavor":"hvt"}`,
+		`{"op":"optimize","capacity_bytes":-1}`,
+		`{"op":"optimize","capacity_bytes":128,"flavor":"hvt","bogus":true}`,
+		`{"op":"evaluate","nr":0,"nc":0}`,
+		"{\"op\":\"optimize\",\"capacity_bytes\":128,\"flavor\":\"hvt\"}\nnull",
+		`{"op":3}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		items, aerr := decodeBatch(bytes.NewReader(body)) // a panic here is a fuzz failure
+		if aerr != nil {
+			if aerr.Status != http.StatusBadRequest || aerr.Message == "" {
+				t.Fatalf("decode error = %+v, want populated 400", aerr)
+			}
+			return
+		}
+		if len(items) == 0 {
+			t.Fatal("nil error with zero items")
+		}
+		for i, it := range items {
+			switch it.op {
+			case "optimize", "pareto":
+				if it.opt == nil || it.ev != nil {
+					t.Fatalf("item %d: op %q with wrong request population", i, it.op)
+				}
+				if it.opt.TimeoutMS != 0 {
+					t.Fatalf("item %d: per-item deadline survived decode", i)
+				}
+				req := *it.opt
+				if aerr := req.normalize(); aerr != nil || req.key(it.op) != it.key() {
+					t.Fatalf("item %d: key not stable under re-normalization (%v)", i, aerr)
+				}
+			case "evaluate":
+				if it.ev == nil || it.opt != nil {
+					t.Fatalf("item %d: op %q with wrong request population", i, it.op)
+				}
+				req := *it.ev
+				if aerr := req.normalize(); aerr != nil || req.key() != it.key() {
+					t.Fatalf("item %d: key not stable under re-normalization (%v)", i, aerr)
+				}
+			default:
+				t.Fatalf("item %d: unexpected op %q", i, it.op)
+			}
+		}
+	})
+}

@@ -9,6 +9,8 @@
 //	POST /v1/evaluate  — analytical model on one explicit design point
 //	POST /v1/pareto    — full energy-delay frontier of the search space
 //	POST /v1/yield     — Monte Carlo margin analysis (YieldRequest)
+//	POST /v1/batch     — many optimize/evaluate/pareto items in one NDJSON
+//	                     body, results streamed back line by line
 //	GET  /healthz      — liveness; 503 once draining
 //	GET  /metrics      — obs registry snapshot (JSON; ?format=prom for
 //	                     Prometheus text exposition)
@@ -20,6 +22,12 @@
 // sent to the first caller, so cache hits are bit-identical to the fill.
 // While a fill is in flight, identical requests coalesce onto it instead
 // of starting their own search.
+//
+// The read path is three tiers (X-Cache reports which answered): the
+// precomputed design-space catalog (`catalog`, see internal/catalog and
+// DESIGN.md §9), the LRU result cache (`hit`), then a live fill on the
+// worker pool (`miss`, or `coalesced` when the caller attached to another
+// request's fill).
 package serve
 
 import (
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"sramco"
+	"sramco/internal/catalog"
 	"sramco/internal/mc"
 	"sramco/internal/num"
 	"sramco/internal/obs"
@@ -43,14 +52,15 @@ import (
 // not lookups that found nothing: a request that coalesces onto a running
 // fill counts under serve.coalesced only.
 var (
-	mRequests  = obs.NewCounter("serve.requests")
-	mCacheHit  = obs.NewCounter("serve.cache.hit")
-	mCacheMiss = obs.NewCounter("serve.cache.miss")
-	mCoalesced = obs.NewCounter("serve.coalesced")
-	mErrors    = obs.NewCounter("serve.errors")
-	mRejected  = obs.NewCounter("serve.rejected") // refused while draining
-	gInflight  = obs.NewGauge("serve.inflight")
-	hReqDur    = obs.NewHistogram("serve.request_duration")
+	mRequests   = obs.NewCounter("serve.requests")
+	mCacheHit   = obs.NewCounter("serve.cache.hit")
+	mCacheMiss  = obs.NewCounter("serve.cache.miss")
+	mCatalogHit = obs.NewCounter("serve.catalog.hit")
+	mCoalesced  = obs.NewCounter("serve.coalesced")
+	mErrors     = obs.NewCounter("serve.errors")
+	mRejected   = obs.NewCounter("serve.rejected") // refused while draining
+	gInflight   = obs.NewGauge("serve.inflight")
+	hReqDur     = obs.NewHistogram("serve.request_duration")
 )
 
 // errDraining rejects new work once shutdown has begun.
@@ -85,6 +95,11 @@ type Server struct {
 	cache  *lruCache
 	flight *flightGroup
 	sem    chan struct{} // worker-pool slots
+
+	// cat is the precomputed design-space catalog, consulted before the LRU
+	// cache. Installed and swapped atomically (SetCatalog); nil when no
+	// catalog is loaded.
+	cat atomic.Pointer[catalog.Catalog]
 
 	// baseCtx parents every compute context, so runs survive individual
 	// client disconnects (other coalesced waiters may still want the
@@ -126,6 +141,7 @@ func New(fw *sramco.Framework, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("/v1/pareto", s.handlePareto)
 	s.mux.HandleFunc("/v1/yield", s.handleYield)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -200,14 +216,71 @@ func (s *Server) effectiveTimeout(timeoutMS int) time.Duration {
 	return d
 }
 
-// serveCached is the shared request path of every /v1/* endpoint: admit,
-// consult the cache, coalesce concurrent identical fills, and run the fill
-// on the worker pool under the effective deadline.
-//
-// The fill runs under the server's base context, not the request's: a
-// coalesced fill may outlive the client that started it, and must.
-// waitCtx (the request context plus the per-request deadline) governs only
-// how long this caller waits.
+// respond resolves one canonical request through the full read path:
+// catalog, LRU cache, then a coalesced fill on the worker pool. The
+// returned state names the tier that answered ("catalog", "hit", "miss" or
+// "coalesced"). waitCtx governs only how long this caller waits for a
+// result; the fill itself runs under the server's base context and compute
+// cap — a coalesced fill may outlive the client that started it, and a
+// client's short deadline must never poison the fill for patient waiters
+// (DESIGN.md §8).
+func (s *Server) respond(waitCtx context.Context, key string, fill func(ctx context.Context) (any, error)) (cached, string, error) {
+	if cat := s.cat.Load(); cat != nil {
+		if body, ok := cat.Lookup(key); ok {
+			mCatalogHit.Inc()
+			return cached{status: http.StatusOK, body: body}, "catalog", nil
+		}
+	}
+	if res, ok := s.cache.Get(key); ok {
+		mCacheHit.Inc()
+		return res, "hit", nil
+	}
+
+	res, shared, err := s.flight.Do(waitCtx, key, func() (cached, error) {
+		mCacheMiss.Inc()
+		// The fill's deadline is the server cap, never the first caller's
+		// requested timeout: waitCtx already bounds each caller's wait, and
+		// deriving runCtx from a client deadline would abort the shared
+		// computation for everyone coalesced onto it.
+		runCtx, cancelRun := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
+		defer cancelRun()
+		if err := s.acquire(runCtx); err != nil {
+			return cached{}, err
+		}
+		defer s.release()
+		v, err := fill(runCtx)
+		if err != nil {
+			if errors.Is(err, sramco.ErrInfeasible) {
+				// Infeasibility is a deterministic property of the canonical
+				// request: cache the structured 422 envelope exactly like a
+				// success so identical requests never re-run the search.
+				aerr := asAPIError(err)
+				if b, merr := json.Marshal(errorEnvelope{Error: *aerr}); merr == nil {
+					res := cached{status: aerr.Status, body: b}
+					s.cache.Put(key, res)
+					return res, nil
+				}
+			}
+			return cached{}, err
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return cached{}, fmt.Errorf("serve: encoding response: %w", err)
+		}
+		res := cached{status: http.StatusOK, body: b}
+		s.cache.Put(key, res)
+		return res, nil
+	})
+	state := "miss"
+	if shared {
+		mCoalesced.Inc()
+		state = "coalesced"
+	}
+	return res, state, err
+}
+
+// serveCached is the shared request path of every single-item /v1/*
+// endpoint: admit, resolve through respond, write the result.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int, fill func(ctx context.Context) (any, error)) {
 	start := time.Now()
 	mRequests.Inc()
@@ -219,45 +292,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	defer release()
 	defer func() { hReqDur.Observe(time.Since(start)) }()
 
-	if body, ok := s.cache.Get(key); ok {
-		mCacheHit.Inc()
-		writeBody(w, body, "hit")
-		return
-	}
-
-	timeout := s.effectiveTimeout(timeoutMS)
-	waitCtx, cancelWait := context.WithTimeout(r.Context(), timeout)
+	waitCtx, cancelWait := context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
 	defer cancelWait()
 
-	body, shared, err := s.flight.Do(waitCtx, key, func() ([]byte, error) {
-		mCacheMiss.Inc()
-		runCtx, cancelRun := context.WithTimeout(s.baseCtx, timeout)
-		defer cancelRun()
-		if err := s.acquire(runCtx); err != nil {
-			return nil, err
-		}
-		defer s.release()
-		v, err := fill(runCtx)
-		if err != nil {
-			return nil, err
-		}
-		b, err := json.Marshal(v)
-		if err != nil {
-			return nil, fmt.Errorf("serve: encoding response: %w", err)
-		}
-		s.cache.Put(key, b)
-		return b, nil
-	})
-	state := "miss"
-	if shared {
-		mCoalesced.Inc()
-		state = "coalesced"
-	}
+	res, state, err := s.respond(waitCtx, key, fill)
 	if err != nil {
 		writeError(w, asAPIError(err))
 		return
 	}
-	writeBody(w, body, state)
+	writeCached(w, res, state)
 }
 
 // OptimizeResponse is the body of a successful /v1/optimize call. Request
@@ -273,6 +316,31 @@ type OptimizeResponse struct {
 	Stats   sramco.SearchStats `json:"search_stats"`
 }
 
+// optimizeResult runs the design search for a canonical request and builds
+// the response value. Shared by the /v1/optimize handler, /v1/batch items
+// and the catalog builder, which guarantees catalog entries are built by
+// the exact code path a live miss would take.
+func (s *Server) optimizeResult(ctx context.Context, req OptimizeRequest) (any, error) {
+	opts, err := req.options()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := s.optimizeFn(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	scrubStats(&opt.Stats)
+	return &OptimizeResponse{
+		Request: req,
+		Design:  opt.Best.Design,
+		EDP:     opt.Best.Result.EDP,
+		DelayS:  opt.Best.Result.DArray,
+		EnergyJ: opt.Best.Result.EArray,
+		Result:  opt.Best.Result,
+		Stats:   opt.Stats,
+	}, nil
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	var req OptimizeRequest
 	if !decodePost(w, r, &req) {
@@ -285,23 +353,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	timeoutMS := req.TimeoutMS
 	req.TimeoutMS = 0 // the deadline shapes the wait, not the computation
 	s.serveCached(w, r, req.key("optimize"), timeoutMS, func(ctx context.Context) (any, error) {
-		opts, err := req.options()
-		if err != nil {
-			return nil, err
-		}
-		opt, err := s.optimizeFn(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &OptimizeResponse{
-			Request: req,
-			Design:  opt.Best.Design,
-			EDP:     opt.Best.Result.EDP,
-			DelayS:  opt.Best.Result.DArray,
-			EnergyJ: opt.Best.Result.EArray,
-			Result:  opt.Best.Result,
-			Stats:   opt.Stats,
-		}, nil
+		return s.optimizeResult(ctx, req)
 	})
 }
 
@@ -324,24 +376,38 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveCached(w, r, req.key(), 0, func(ctx context.Context) (any, error) {
-		flavor, design, act, err := req.design(s.fw)
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.fw.Evaluate(flavor, design, act)
-		if err != nil {
-			// The model rejects structurally invalid points with plain
-			// errors; surface them as client errors, not 500s.
-			return nil, badRequest("%v", err)
-		}
-		return &EvaluateResponse{
-			Request: req,
-			EDP:     res.EDP,
-			DelayS:  res.DArray,
-			EnergyJ: res.EArray,
-			Result:  res,
-		}, nil
+		return s.evaluateResult(req, nil)
 	})
+}
+
+// evaluateResult evaluates one explicit design point and builds the
+// response value. When ev is non-nil the point runs through the shared
+// prepared Evaluator instead of a fresh array.Evaluate — bit-identical by
+// the Evaluator contract (DESIGN.md §7), so /v1/batch and /v1/evaluate can
+// populate the same cache entries.
+func (s *Server) evaluateResult(req EvaluateRequest, ev *batchEvaluator) (any, error) {
+	flavor, design, act, err := req.design(s.fw)
+	if err != nil {
+		return nil, err
+	}
+	var res *sramco.Result
+	if ev != nil {
+		res, err = ev.eval(flavor, design, act)
+	} else {
+		res, err = s.fw.Evaluate(flavor, design, act)
+	}
+	if err != nil {
+		// The model rejects structurally invalid points with plain
+		// errors; surface them as client errors, not 500s.
+		return nil, badRequest("%v", err)
+	}
+	return &EvaluateResponse{
+		Request: req,
+		EDP:     res.EDP,
+		DelayS:  res.DArray,
+		EnergyJ: res.EArray,
+		Result:  res,
+	}, nil
 }
 
 // ParetoResponse is the body of a successful /v1/pareto call.
@@ -363,16 +429,33 @@ func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
 	timeoutMS := req.TimeoutMS
 	req.TimeoutMS = 0
 	s.serveCached(w, r, req.key("pareto"), timeoutMS, func(ctx context.Context) (any, error) {
-		opts, err := req.options()
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.paretoFn(ctx, opts)
-		if err != nil {
-			return nil, err
-		}
-		return &ParetoResponse{Request: req, Front: res.Front, Stats: res.Stats}, nil
+		return s.paretoResult(ctx, req)
 	})
+}
+
+// paretoResult sweeps the full frontier for a canonical request; shared by
+// the /v1/pareto handler, /v1/batch items and the catalog builder.
+func (s *Server) paretoResult(ctx context.Context, req OptimizeRequest) (any, error) {
+	opts, err := req.options()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.paretoFn(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	scrubStats(&res.Stats)
+	return &ParetoResponse{Request: req, Front: res.Front, Stats: res.Stats}, nil
+}
+
+// scrubStats zeroes the environmental search-stats fields (wall-clock time,
+// worker count) before a response is encoded. Response bodies are cached,
+// replayed verbatim and precomputed into catalogs, so they must depend only
+// on the canonical request and the technology — not on the machine or the
+// moment that happened to run the fill.
+func scrubStats(st *sramco.SearchStats) {
+	st.Wall = 0
+	st.Workers = 0
 }
 
 // YieldResponse is the body of a successful /v1/yield call: the margin
@@ -492,10 +575,17 @@ func writeError(w http.ResponseWriter, aerr *apiError) {
 	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: *aerr})
 }
 
-func writeBody(w http.ResponseWriter, body []byte, cacheState string) {
+// writeCached replays a cached response: the tier that answered goes in
+// X-Cache, and a cached failure (422 infeasible envelope) replays its
+// original status.
+func writeCached(w http.ResponseWriter, res cached, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheState)
-	_, _ = w.Write(body)
+	if res.status != http.StatusOK {
+		mErrors.Inc()
+		w.WriteHeader(res.status)
+	}
+	_, _ = w.Write(res.body)
 }
 
 // isDeadline reports whether err is (or wraps) a deadline expiry.

@@ -23,7 +23,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{} // closed when the fill finishes
-	body []byte
+	res  cached
 	err  error
 }
 
@@ -31,11 +31,13 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{m: make(map[string]*flightCall)}
 }
 
-// Do runs fn once per key among concurrent callers. The leader executes fn
-// and broadcasts the result; coalesced callers block until the fill
-// finishes or their ctx is done. shared reports whether this caller
-// coalesced onto another's fill (false for the leader).
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+// Do runs fn once per key among concurrent callers. The first caller starts
+// the fill on its own goroutine and every caller — the leader included —
+// waits for the result under its own ctx: a caller whose deadline expires
+// walks away while the fill keeps running for whoever is still waiting.
+// shared reports whether this caller coalesced onto another's fill (false
+// for the one that started it).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cached, error)) (res cached, shared bool, err error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		g.mu.Unlock()
@@ -43,21 +45,28 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 		defer g.nWaiters.Add(-1)
 		select {
 		case <-c.done:
-			return c.body, true, c.err
+			return c.res, true, c.err
 		case <-ctx.Done():
-			return nil, true, context.Cause(ctx)
+			return cached{}, true, context.Cause(ctx)
 		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.body, c.err = fn()
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.body, false, c.err
+	go func() {
+		c.res, c.err = fn()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	select {
+	case <-c.done:
+		return c.res, false, c.err
+	case <-ctx.Done():
+		return cached{}, false, context.Cause(ctx)
+	}
 }
 
 // waiters returns the number of callers currently waiting on some fill.

@@ -173,6 +173,12 @@ func Default() (*Framework, error) {
 // objectives, search spaces, greedy ablation).
 func (f *Framework) Core() *core.Framework { return f.core }
 
+// Fingerprint digests every model input that shapes a search result —
+// calibration mode, constants, peripheral characterization, and the
+// per-flavor cell surfaces. Equal fingerprints mean bit-identical searches;
+// the precomputed design-space catalog is versioned by it.
+func (f *Framework) Fingerprint() [32]byte { return f.core.Fingerprint() }
+
 // Optimize finds the minimum-EDP design for an array of capacityBytes using
 // the paper's default workload (α = β = 0.5, W = 64, δ = 0.35·Vdd) and
 // search ranges. The search is deterministic: the returned Optimum is
