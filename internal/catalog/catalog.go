@@ -184,6 +184,13 @@ func (c *Catalog) WriteFile(path string) error {
 		tmp.Close()
 		return err
 	}
+	// CreateTemp opens 0600; a catalog is a shared artifact (built by a
+	// deploy step, read by the service account), so open it up before the
+	// rename publishes it.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}

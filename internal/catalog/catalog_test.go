@@ -3,6 +3,7 @@ package catalog
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -152,5 +153,22 @@ func TestWriteFileLoad(t *testing.T) {
 	}
 	if got2.Len() != 3 {
 		t.Errorf("overwritten catalog has %d entries, want 3", got2.Len())
+	}
+}
+
+// TestWriteFileWorldReadable: the rename must not publish the catalog with
+// CreateTemp's private 0600 mode — a catalog built by a deploy user has to
+// be readable by the service account that loads it.
+func TestWriteFileWorldReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.bin")
+	if err := buildTest(t, 2).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Errorf("catalog file mode = %04o, want 0644", perm)
 	}
 }

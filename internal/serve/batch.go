@@ -39,16 +39,21 @@ type batchItem struct {
 // front — any malformed line fails the whole batch with a 400 before
 // anything streams, so a batch response is always a clean NDJSON stream.
 func decodeBatch(r io.Reader) ([]batchItem, *apiError) {
-	sc := bufio.NewScanner(io.LimitReader(r, maxBatchBytes+1))
+	// Read one byte past the limit so a body of exactly maxBatchBytes is
+	// accepted and anything larger is detected without buffering it all.
+	body, err := io.ReadAll(io.LimitReader(r, maxBatchBytes+1))
+	if err != nil {
+		return nil, badRequest("batch body: %v", err)
+	}
+	if len(body) > maxBatchBytes {
+		return nil, badRequest("batch body exceeds the %d byte limit", maxBatchBytes)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
 	sc.Buffer(make([]byte, 0, 64*1024), maxBodyBytes)
 	var items []batchItem
-	line, total := 0, 0
+	line := 0
 	for sc.Scan() {
 		line++
-		total += len(sc.Bytes()) + 1
-		if total > maxBatchBytes {
-			return nil, badRequest("batch body exceeds the %d byte limit", maxBatchBytes)
-		}
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
 			continue
@@ -145,10 +150,17 @@ func toBatchResult(idx int, op string, res cached, state string, err error) batc
 // batchEvaluator shares prepared array.Evaluator instances across the
 // evaluate items of one batch, one per (flavor, activity): consecutive
 // items differing only in fin counts reuse the memoized chunk-invariant
-// state from Prepare instead of recomputing it. Not safe for concurrent
-// use — the batch handler drives all evaluate items from one goroutine.
+// state from Prepare instead of recomputing it. The batch handler drives
+// evaluate items sequentially, but a fill whose waiter timed out keeps
+// running on its flightGroup goroutine — the mutex makes that overlap safe
+// (Prepare/Eval share per-Evaluator state), and handleBatch additionally
+// stops launching new fills once the batch deadline has passed so nothing
+// queues up behind a straggler.
 type batchEvaluator struct {
-	fw *sramco.Framework
+	fw   *sramco.Framework
+	hook func() // test seam (Server.evalHook); nil in production
+
+	mu sync.Mutex
 	m  map[batchEvalKey]*array.Evaluator
 }
 
@@ -157,11 +169,16 @@ type batchEvalKey struct {
 	alpha, beta float64
 }
 
-func newBatchEvaluator(fw *sramco.Framework) *batchEvaluator {
-	return &batchEvaluator{fw: fw, m: make(map[batchEvalKey]*array.Evaluator)}
+func newBatchEvaluator(fw *sramco.Framework, hook func()) *batchEvaluator {
+	return &batchEvaluator{fw: fw, hook: hook, m: make(map[batchEvalKey]*array.Evaluator)}
 }
 
 func (e *batchEvaluator) eval(flavor sramco.Flavor, d sramco.Design, act sramco.Activity) (*sramco.Result, error) {
+	if e.hook != nil {
+		e.hook()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	k := batchEvalKey{flavor: flavor, alpha: act.Alpha, beta: act.Beta}
 	ev, ok := e.m[k]
 	if !ok {
@@ -247,8 +264,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ev := newBatchEvaluator(s.fw)
-			for _, i := range evalIdx {
+			ev := newBatchEvaluator(s.fw, s.evalHook)
+			for n, i := range evalIdx {
+				// Once the batch deadline has passed, respond returns early
+				// while its fill keeps running on the flightGroup goroutine;
+				// launching the next item's fill would then contend on the
+				// shared evaluator behind that straggler. Answer the remaining
+				// items with the deadline error instead.
+				if batchCtx.Err() != nil {
+					for _, j := range evalIdx[n:] {
+						results <- toBatchResult(j, items[j].op, cached{}, "", context.Cause(batchCtx))
+					}
+					return
+				}
 				it := items[i]
 				res, state, err := s.respond(batchCtx, it.key(), func(ctx context.Context) (any, error) {
 					return s.evaluateResult(*it.ev, ev)

@@ -9,7 +9,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sramco"
 )
@@ -221,6 +223,96 @@ func TestBatchRejectsMalformedInput(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("negative timeout_ms: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchDeadlineStopsEvalFills pins the evaluate-loop deadline
+// semantics: once the batch deadline passes mid-item, the handler must not
+// launch fills for the remaining evaluate items (the expired item's fill is
+// still running on its flightGroup goroutine — a new fill would share the
+// batchEvaluator with it) but answer them with the deadline error. The
+// pre-fix code started a fill per remaining item, which this test observes
+// as extra evalHook entries (and, under -race, as a data race on the
+// evaluator map).
+func TestBatchDeadlineStopsEvalFills(t *testing.T) {
+	// Several worker slots, so a stray post-deadline fill would reach the
+	// shared evaluator instead of parking on the pool semaphore behind the
+	// gated straggler.
+	s := New(framework(t), Config{Timeout: 100 * time.Millisecond, Workers: 4})
+	gate := make(chan struct{})
+	var fills atomic.Int32
+	s.evalHook = func() {
+		fills.Add(1)
+		<-gate
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Three distinct (uncached) evaluate items; the first blocks in the
+	// hook until well past the 100ms batch deadline.
+	batch := strings.Join([]string{
+		`{"op":"evaluate","flavor":"hvt","nr":32,"nc":32,"npre":1,"nwr":1}`,
+		`{"op":"evaluate","flavor":"hvt","nr":64,"nc":32,"npre":1,"nwr":1}`,
+		`{"op":"evaluate","flavor":"hvt","nr":128,"nc":32,"npre":1,"nwr":1}`,
+	}, "\n")
+	code, results := readBatch(t, ts.URL, batch+"\n")
+	defer close(gate) // let straggler fills finish and unwind
+
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, r := range results {
+		if r.Status != http.StatusGatewayTimeout {
+			t.Errorf("item %d: status %d, want 504 after batch deadline", r.Index, r.Status)
+		}
+	}
+
+	// Count fills with the gate still closed, so any stray post-deadline
+	// fill is parked in the hook where it stays countable; the grace sleep
+	// gives such strays time to get scheduled before the assertion.
+	waitFor(t, "first fill to start", func() bool { return fills.Load() >= 1 })
+	time.Sleep(50 * time.Millisecond)
+	if n := fills.Load(); n != 1 {
+		t.Errorf("%d evaluate fills started, want 1 (no new fills after the deadline)", n)
+	}
+}
+
+// TestBatchByteLimitBoundary: a body of exactly maxBatchBytes — final line
+// unterminated — is accepted; one byte more is a 400. The pre-fix
+// accounting charged a newline the unterminated line didn't have, rejecting
+// exact-limit bodies.
+func TestBatchByteLimitBoundary(t *testing.T) {
+	s := New(framework(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// One real item, then whitespace-only padding lines (skipped by the
+	// decoder) up to exactly maxBatchBytes, without a trailing newline.
+	var sb strings.Builder
+	sb.WriteString(evalLine + "\n")
+	pad := strings.Repeat(" ", maxBodyBytes-1) + "\n"
+	for sb.Len()+len(pad) <= maxBatchBytes {
+		sb.WriteString(pad)
+	}
+	sb.WriteString(strings.Repeat(" ", maxBatchBytes-sb.Len()))
+	body := sb.String()
+	if len(body) != maxBatchBytes {
+		t.Fatalf("built a %d-byte body, want exactly %d", len(body), maxBatchBytes)
+	}
+
+	code, results := readBatch(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("exact-limit body: status %d, want 200", code)
+	}
+	if len(results) != 1 || results[0].Status != http.StatusOK {
+		t.Fatalf("exact-limit body: results %+v, want one OK item", results)
+	}
+
+	if code, _ := readBatch(t, ts.URL, body+" "); code != http.StatusBadRequest {
+		t.Errorf("over-limit body: status %d, want 400", code)
 	}
 }
 

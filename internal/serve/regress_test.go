@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -85,6 +86,35 @@ func TestCoalescedFillSurvivesFirstCallersDeadline(t *testing.T) {
 	}
 	if searches.Load() != 1 {
 		t.Errorf("searches = %d, want 1 (the second caller must not refill)", searches.Load())
+	}
+}
+
+// TestInflightGaugeConsistentUnderConcurrency hammers admit/release from
+// many goroutines and checks the published serve.inflight gauge lands back
+// where it started. The pre-fix Set(counter.Add(±1)) pattern let two
+// concurrent updates apply their Sets out of order, leaving a stale
+// nonzero gauge behind.
+func TestInflightGaugeConsistentUnderConcurrency(t *testing.T) {
+	s := New(framework(t), Config{})
+	before := gInflight.Value()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				release, err := s.admit()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if after := gInflight.Value(); after != before {
+		t.Errorf("serve.inflight drifted from %g to %g across balanced admit/release", before, after)
 	}
 }
 

@@ -107,17 +107,19 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
 
-	mu        sync.Mutex
-	draining  bool
-	inflight  sync.WaitGroup
-	nInflight atomic.Int64
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
 
 	mux *http.ServeMux
 
 	// Test seams: the concurrency tests gate these to hold fills open.
+	// evalHook, when set, runs at the top of every shared-Evaluator batch
+	// eval so tests can hold an evaluate fill open past the batch deadline.
 	optimizeFn func(context.Context, sramco.Options) (*sramco.Optimum, error)
 	paretoFn   func(context.Context, sramco.Options) (*sramco.ParetoResult, error)
 	yieldFn    func(context.Context, sramco.MCConfig) (*sramco.MCResult, error)
+	evalHook   func()
 }
 
 // New builds a Server over a characterized framework.
@@ -185,9 +187,11 @@ func (s *Server) admit() (release func(), err error) {
 		return nil, errDraining
 	}
 	s.inflight.Add(1)
-	gInflight.Set(float64(s.nInflight.Add(1)))
+	// Gauge.Add, not Add-then-Set: concurrent Sets can land out of order
+	// and leave the published gauge stale after both requests finish.
+	gInflight.Add(1)
 	return func() {
-		gInflight.Set(float64(s.nInflight.Add(-1)))
+		gInflight.Add(-1)
 		s.inflight.Done()
 	}, nil
 }
