@@ -2,7 +2,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check race-core race-serve vet-obs fuzz-smoke bench bench-compare catalog
+.PHONY: build test check race-core race-serve vet-obs fuzz-smoke loadtest-smoke bench bench-compare catalog
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ test:
 check: vet-obs
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) loadtest-smoke
 
 # race-core is the fast inner loop: only the search-engine package under the
 # race detector.
@@ -39,6 +40,13 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzConfigNormalize -fuzztime=$(FUZZTIME) ./internal/mc/
 	$(GO) test -fuzz=FuzzOptionsNormalize -fuzztime=$(FUZZTIME) ./internal/core/
 
+# loadtest-smoke drives a short closed-loop load burst through an in-process
+# sramd with the real request mix; -check fails the target on zero recorded
+# throughput, any transport error or any 5xx, so a serving-path regression
+# that only shows under concurrency breaks the gate, not production.
+loadtest-smoke:
+	$(GO) run ./cmd/sramload -self -c 4 -warmup 500ms -duration 2s -check -report /dev/null
+
 # vet-obs gates the observability layer on its own: vet plus the obs package
 # under the race detector (the sink/registry state is global and concurrent).
 vet-obs:
@@ -58,11 +66,11 @@ BENCH_BASELINE = $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -n 1)
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_<date>.json baseline; run 'make bench' first"; exit 1; }
 	$(GO) test -json -bench='^(BenchmarkExhaustiveSearch16KB|BenchmarkModelEvaluation)$$' -benchmem -run='^$$' . > bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
-	$(GO) test -json -bench='^(BenchmarkServeOptimizeCached|BenchmarkBatch64)$$' -benchmem -run='^$$' ./internal/serve/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) test -json -bench='^(BenchmarkServeOptimizeCached|BenchmarkServeOptimizeCatalogHit|BenchmarkBatch64)$$' -benchmem -run='^$$' ./internal/serve/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) test -json -bench='^BenchmarkCatalogLookup$$' -benchmem -run='^$$' ./internal/catalog/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) run ./cmd/benchcompare -baseline $(BENCH_BASELINE) -current bench_current.tmp.json \
 		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation BenchmarkServeOptimizeCached \
-		BenchmarkBatch64 BenchmarkCatalogLookup; \
+		BenchmarkServeOptimizeCatalogHit BenchmarkBatch64 BenchmarkCatalogLookup; \
 		status=$$?; rm -f bench_current.tmp.json; exit $$status
 
 # catalog precomputes the default design-space grid into catalog.bin; sramd

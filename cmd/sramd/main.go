@@ -7,8 +7,18 @@
 //
 //	sramd [-addr :8347] [-mode paper] [-cache 256] [-workers N]
 //	      [-timeout 60s] [-drain-timeout 30s] [-catalog catalog.bin]
+//	      [-access-log] [-trace-buf 4096] [-trace-log spans.jsonl]
+//	      [-debug-addr :6060]
 //	      [-trace out.jsonl] [-metrics] [-debug]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Observability: every request gets a trace ID (adopted from an inbound W3C
+// traceparent header, minted otherwise), echoed as X-Request-Id, stamped on
+// every span the request's work emits, logged in the structured access log,
+// and buffered in an in-memory ring recorder dumped by GET /debug/trace
+// (?limit=N traces). -trace-log additionally mirrors every span to a JSONL
+// file; -trace-buf sizes the ring. -debug-addr starts a second listener
+// serving net/http/pprof under /debug/pprof/.
 //
 // With -catalog, sramd serves /v1/optimize and /v1/pareto lookups for the
 // standard design-space grid straight from the precomputed catalog file
@@ -24,7 +34,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +46,7 @@ import (
 	"sramco"
 	"sramco/internal/catalog"
 	"sramco/internal/cliutil"
+	"sramco/internal/obs"
 	"sramco/internal/serve"
 )
 
@@ -46,8 +59,18 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
 	catalogPath := flag.String("catalog", "", "precomputed design-space catalog file (missing or stale: rebuilt in the background)")
+	accessLog := flag.Bool("access-log", true, "log one structured line per request to stderr")
+	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity behind /debug/trace (0 = default)")
+	traceLog := flag.String("trace-log", "", "mirror every span/point to a JSON-lines `file`")
+	debugAddr := flag.String("debug-addr", "", "optional second listener serving net/http/pprof under /debug/pprof/")
 	obsFlags := cliutil.ObsFlags()
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Catch the classic bool-flag trap: "-access-log file.log" parses
+		// -access-log as true and silently drops file.log and every flag
+		// after it. Better to refuse than to run half-configured.
+		cliutil.Fatalf("unexpected arguments %q (a boolean flag like -access-log takes =false, not a value)", flag.Args())
+	}
 
 	mode := sramco.TechPaper
 	if strings.EqualFold(*modeStr, "simulated") {
@@ -59,21 +82,49 @@ func main() {
 		cliutil.Fatalf("%v", err)
 	}
 
+	// The span recorder backs /debug/trace and is always on: it joins
+	// whatever sinks the -trace/-debug flags installed, plus the optional
+	// -trace-log JSONL mirror.
+	recorder := obs.NewRecorder(*traceBuf)
+	sinks := obs.MultiSink{recorder}
+	if prev := obs.CurrentSink(); prev != nil {
+		sinks = append(sinks, prev)
+	}
+	if *traceLog != "" {
+		f, err := os.Create(*traceLog)
+		if err != nil {
+			cliutil.Fatalf("-trace-log: %v", err)
+		}
+		cliutil.OnExit(func() { f.Close() })
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	obs.SetSink(sinks)
+	cliutil.OnExit(func() { obs.SetSink(nil) })
+
 	fmt.Fprintf(os.Stderr, "sramd: characterizing technology (%v mode)...\n", mode)
 	fw, err := sramco.NewFramework(mode)
 	if err != nil {
 		cliutil.Fatalf("%v", err)
 	}
 
-	srv := serve.New(fw, serve.Config{
+	cfg := serve.Config{
 		CacheSize: *cacheSize,
 		Timeout:   *timeout,
 		Workers:   *workers,
-	})
+		Recorder:  recorder,
+	}
+	if *accessLog {
+		cfg.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := serve.New(fw, cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
 	}
 
 	// SIGINT/SIGTERM triggers the drain sequence: stop accepting, let
@@ -111,6 +162,23 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr, "sramd: drained cleanly")
 	cliutil.Shutdown()
+}
+
+// serveDebug runs the pprof listener. It is intentionally separate from the
+// service listener so profiling endpoints can stay unexposed (bound to
+// localhost, firewalled) while /v1/* serves traffic.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "sramd: pprof listening on %s\n", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "sramd: pprof listener: %v\n", err)
+	}
 }
 
 // setupCatalog installs the catalog at path if it matches the framework's

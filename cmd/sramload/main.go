@@ -1,0 +1,512 @@
+// Command sramload is the closed-loop load harness for sramd: it drives a
+// configurable request mix (optimize / evaluate / pareto / batch) against a
+// running server — or an in-process one with -self — at either a fixed
+// concurrency or a target QPS, measures client-side latency per endpoint,
+// and writes a JSON report with p50/p90/p99/p999, throughput and error
+// counts. The ROADMAP's "millions of users" claim is measured with this
+// tool, not asserted.
+//
+// Usage:
+//
+//	sramload [-url http://localhost:8347 | -self] [-c 8] [-qps 0]
+//	         [-duration 10s] [-warmup 1s] [-timeout 10s] [-seed 1]
+//	         [-mix optimize=6,evaluate=3,pareto=0,batch=1]
+//	         [-report report.json] [-check]
+//
+// With -qps 0 (the default) the harness is purely closed-loop: each of the
+// -c workers issues its next request the moment the previous one finishes,
+// so measured throughput is the server's capacity at that concurrency. With
+// -qps > 0 the workers share a token pacer targeting that aggregate rate.
+// Warmup traffic is sent but not recorded, so cold fills and connection
+// setup don't pollute the distribution. Latencies are also recorded into
+// the process obs registry as sramload.latency{endpoint=...} histograms
+// (dump with -metrics).
+//
+// -check exits non-zero unless the run produced non-zero recorded
+// throughput with zero transport errors and zero 5xx responses — the CI
+// smoke gate (make loadtest-smoke).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sramco"
+	"sramco/internal/cliutil"
+	"sramco/internal/obs"
+	"sramco/internal/serve"
+)
+
+// op names the four request kinds in the mix; opBatch exercises the NDJSON
+// streaming path with a small mixed batch body.
+const (
+	opOptimize = "optimize"
+	opEvaluate = "evaluate"
+	opPareto   = "pareto"
+	opBatch    = "batch"
+)
+
+var opOrder = []string{opOptimize, opEvaluate, opPareto, opBatch}
+
+// hLatency is the client-side obs histogram per op, mirroring the server's
+// per-endpoint series so a combined dump lines both sides up.
+var hLatency = func() map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, len(opOrder))
+	for _, o := range opOrder {
+		m[o] = obs.NewHistogram(obs.LabeledName("sramload.latency", "endpoint", o))
+	}
+	return m
+}()
+
+var mSent = obs.NewCounter("sramload.requests")
+
+// loadConfig is one harness run, fully specified.
+type loadConfig struct {
+	BaseURL     string
+	Concurrency int
+	TargetQPS   float64
+	Duration    time.Duration
+	Warmup      time.Duration
+	Timeout     time.Duration
+	Seed        int64
+	Mix         map[string]int
+}
+
+// pools of request bodies per op. Small enough that repeats exercise the
+// server's cache tiers (the production read path), varied enough that the
+// first pass through fills several distinct entries.
+type pools struct {
+	optimize []string
+	evaluate []string
+	pareto   []string
+	batch    []string
+}
+
+func buildPools() pools {
+	var p pools
+	for _, capBytes := range []int{128, 256, 512, 1024} {
+		for _, flavor := range []string{"lvt", "hvt"} {
+			p.optimize = append(p.optimize,
+				fmt.Sprintf(`{"capacity_bytes":%d,"flavor":%q,"method":"m2"}`, capBytes, flavor))
+		}
+	}
+	for _, nr := range []int{32, 64, 128} {
+		nc := 1024 * 8 / nr
+		for _, npre := range []int{1, 2, 4} {
+			p.evaluate = append(p.evaluate,
+				fmt.Sprintf(`{"flavor":"hvt","method":"m2","nr":%d,"nc":%d,"npre":%d,"nwr":2}`, nr, nc, npre))
+		}
+	}
+	for _, capBytes := range []int{128, 256} {
+		p.pareto = append(p.pareto,
+			fmt.Sprintf(`{"capacity_bytes":%d,"flavor":"hvt","method":"m2"}`, capBytes))
+	}
+	// One batch body: a few evaluates plus an optimize, exercising the
+	// per-line streaming path and the shared batch evaluator.
+	var b strings.Builder
+	for _, nwr := range []int{1, 2, 4} {
+		fmt.Fprintf(&b, `{"op":"evaluate","flavor":"hvt","method":"m2","nr":64,"nc":128,"npre":2,"nwr":%d}`+"\n", nwr)
+	}
+	b.WriteString(`{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2"}` + "\n")
+	p.batch = append(p.batch, b.String())
+	return p
+}
+
+func (p pools) body(op string, rng *rand.Rand) string {
+	var pool []string
+	switch op {
+	case opOptimize:
+		pool = p.optimize
+	case opEvaluate:
+		pool = p.evaluate
+	case opPareto:
+		pool = p.pareto
+	default:
+		pool = p.batch
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+func endpointPath(op string) string {
+	if op == opBatch {
+		return "/v1/batch"
+	}
+	return "/v1/" + op
+}
+
+// sample is one recorded request.
+type sample struct {
+	op  string
+	dur time.Duration
+	// status 0 means a transport error (no HTTP response).
+	status int
+}
+
+// workerStats accumulates one worker's recorded samples lock-free; the
+// collector merges after all workers join.
+type workerStats struct {
+	samples []sample
+}
+
+// EndpointReport is the per-endpoint section of the JSON report.
+type EndpointReport struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"` // transport failures + non-2xx
+	Status5xx     int     `json:"status_5xx"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanMS        float64 `json:"mean_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
+}
+
+// Report is the harness's JSON artifact. Fields are stable so successive
+// runs can be archived and diffed bench-compare style.
+type Report struct {
+	Target      string                    `json:"target"`
+	StartTS     string                    `json:"start_ts"`
+	WarmupS     float64                   `json:"warmup_s"`
+	DurationS   float64                   `json:"duration_s"` // recorded window
+	Concurrency int                       `json:"concurrency"`
+	TargetQPS   float64                   `json:"target_qps,omitempty"`
+	Seed        int64                     `json:"seed"`
+	Requests    int                       `json:"requests"`
+	Errors      int                       `json:"errors"`
+	Status5xx   int                       `json:"status_5xx"`
+	Throughput  float64                   `json:"throughput_rps"`
+	Endpoints   map[string]EndpointReport `json:"endpoints"`
+}
+
+// weightedPick returns an op drawn from the mix weights.
+func weightedPick(mix map[string]int, total int, rng *rand.Rand) string {
+	n := rng.Intn(total)
+	for _, op := range opOrder {
+		n -= mix[op]
+		if n < 0 {
+			return op
+		}
+	}
+	return opOptimize // unreachable for a well-formed mix
+}
+
+// runLoad drives the configured load and returns the report. It is the
+// whole harness behind the flag parsing, shared with the in-process smoke
+// test.
+func runLoad(cfg loadConfig) (*Report, error) {
+	total := 0
+	for _, w := range cfg.Mix {
+		if w < 0 {
+			return nil, fmt.Errorf("negative mix weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("empty request mix")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	p := buildPools()
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency * 2,
+			MaxIdleConnsPerHost: cfg.Concurrency * 2,
+		},
+	}
+
+	start := time.Now()
+	recordFrom := start.Add(cfg.Warmup)
+	deadline := recordFrom.Add(cfg.Duration)
+
+	// In QPS mode a pacer goroutine drops one token per 1/qps interval;
+	// workers block on a token before each request, so the aggregate
+	// request rate tracks the target while per-request latency is still
+	// measured closed-loop.
+	var tokens chan struct{}
+	pacerDone := make(chan struct{})
+	if cfg.TargetQPS > 0 {
+		tokens = make(chan struct{})
+		interval := time.Duration(float64(time.Second) / cfg.TargetQPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		go func() {
+			defer close(pacerDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for time.Now().Before(deadline) {
+				<-t.C
+				select {
+				case tokens <- struct{}{}:
+				default: // all workers busy; shed the token (closed loop wins)
+				}
+			}
+			close(tokens)
+		}()
+	} else {
+		close(pacerDone)
+	}
+
+	stats := make([]workerStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			ws := &stats[w]
+			for {
+				now := time.Now()
+				if !now.Before(deadline) {
+					return
+				}
+				if tokens != nil {
+					if _, ok := <-tokens; !ok {
+						return
+					}
+				}
+				op := weightedPick(cfg.Mix, total, rng)
+				body := p.body(op, rng)
+				t0 := time.Now()
+				status := post(client, cfg.BaseURL+endpointPath(op), op, body)
+				dur := time.Since(t0)
+				mSent.Inc()
+				if t0.Before(recordFrom) {
+					continue // warmup traffic: sent, not recorded
+				}
+				hLatency[op].Observe(dur)
+				ws.samples = append(ws.samples, sample{op: op, dur: dur, status: status})
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-pacerDone
+
+	rep := &Report{
+		Target:      cfg.BaseURL,
+		StartTS:     start.UTC().Format(time.RFC3339),
+		WarmupS:     cfg.Warmup.Seconds(),
+		DurationS:   time.Since(recordFrom).Seconds(),
+		Concurrency: cfg.Concurrency,
+		TargetQPS:   cfg.TargetQPS,
+		Seed:        cfg.Seed,
+		Endpoints:   map[string]EndpointReport{},
+	}
+	if rep.DurationS <= 0 {
+		rep.DurationS = cfg.Duration.Seconds()
+	}
+	byOp := map[string][]sample{}
+	for i := range stats {
+		for _, s := range stats[i].samples {
+			byOp[s.op] = append(byOp[s.op], s)
+		}
+	}
+	for op, ss := range byOp {
+		er := EndpointReport{Requests: len(ss)}
+		durs := make([]float64, 0, len(ss))
+		var sum float64
+		for _, s := range ss {
+			ms := float64(s.dur) / float64(time.Millisecond)
+			durs = append(durs, ms)
+			sum += ms
+			if s.status == 0 || s.status >= 400 {
+				er.Errors++
+			}
+			if s.status >= 500 {
+				er.Status5xx++
+			}
+		}
+		sort.Float64s(durs)
+		er.MeanMS = sum / float64(len(durs))
+		er.P50MS = quantile(durs, 0.50)
+		er.P90MS = quantile(durs, 0.90)
+		er.P99MS = quantile(durs, 0.99)
+		er.P999MS = quantile(durs, 0.999)
+		er.ThroughputRPS = float64(len(ss)) / rep.DurationS
+		rep.Endpoints[op] = er
+		rep.Requests += er.Requests
+		rep.Errors += er.Errors
+		rep.Status5xx += er.Status5xx
+	}
+	rep.Throughput = float64(rep.Requests) / rep.DurationS
+	return rep, nil
+}
+
+// post issues one request and drains the response; it returns the HTTP
+// status, or 0 on a transport error.
+func post(client *http.Client, url, op, body string) int {
+	ct := "application/json"
+	if op == opBatch {
+		ct = "application/x-ndjson"
+	}
+	resp, err := client.Post(url, ct, strings.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// quantile returns the q-th quantile of sorted values (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// parseMix parses "optimize=6,evaluate=3,pareto=0,batch=1". Omitted ops get
+// weight zero; at least one weight must be positive.
+func parseMix(s string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want op=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		switch k {
+		case opOptimize, opEvaluate, opPareto, opBatch:
+			mix[k] = w
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown op (want optimize, evaluate, pareto or batch)", part)
+		}
+	}
+	return mix, nil
+}
+
+// startSelfServer characterizes the framework and serves it on an ephemeral
+// loopback port — the in-process target behind -self, so the smoke gate
+// needs no separately managed daemon.
+func startSelfServer() (baseURL string, shutdown func(), err error) {
+	fw, err := sramco.NewFramework(sramco.TechPaper)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := serve.New(fw, serve.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		_ = srv.Drain(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+func main() {
+	cliutil.SetName("sramload")
+	url := flag.String("url", "http://localhost:8347", "base URL of the target sramd")
+	self := flag.Bool("self", false, "ignore -url and load an in-process server instead")
+	conc := flag.Int("c", 8, "closed-loop worker count")
+	qps := flag.Float64("qps", 0, "target aggregate request rate (0 = unpaced closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "recorded load window")
+	warmup := flag.Duration("warmup", 1*time.Second, "unrecorded warmup window before measurement")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	seed := flag.Int64("seed", 1, "request-mix random seed")
+	mixStr := flag.String("mix", "optimize=6,evaluate=3,pareto=0,batch=1", "request mix weights")
+	reportPath := flag.String("report", "", "write the JSON report to `file` (default stdout)")
+	check := flag.Bool("check", false, "exit non-zero on zero throughput, transport errors or any 5xx")
+	obsFlags := cliutil.ObsFlags()
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliutil.Fatalf("unexpected arguments %q (a boolean flag like -check takes =false, not a value)", flag.Args())
+	}
+
+	mix, err := parseMix(*mixStr)
+	if err != nil {
+		cliutil.Fatalf("-mix: %v", err)
+	}
+	if err := obsFlags.Start(); err != nil {
+		cliutil.Fatalf("%v", err)
+	}
+
+	base := *url
+	if *self {
+		fmt.Fprintln(os.Stderr, "sramload: characterizing technology for the in-process server...")
+		var shutdown func()
+		base, shutdown, err = startSelfServer()
+		if err != nil {
+			cliutil.Fatalf("-self: %v", err)
+		}
+		defer shutdown()
+	}
+
+	stop := obsFlags.StartProgress(func() string {
+		return fmt.Sprintf("sramload: %d requests sent", mSent.Value())
+	})
+	rep, err := runLoad(loadConfig{
+		BaseURL:     strings.TrimRight(base, "/"),
+		Concurrency: *conc,
+		TargetQPS:   *qps,
+		Duration:    *duration,
+		Warmup:      *warmup,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		Mix:         mix,
+	})
+	stop()
+	if err != nil {
+		cliutil.Fatalf("%v", err)
+	}
+
+	out := os.Stdout
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			cliutil.Fatalf("-report: %v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		cliutil.Fatalf("writing report: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "sramload: %d requests in %.1fs (%.1f req/s), %d errors, %d 5xx\n",
+		rep.Requests, rep.DurationS, rep.Throughput, rep.Errors, rep.Status5xx)
+
+	if *check {
+		switch {
+		case rep.Requests == 0:
+			cliutil.Fatalf("check failed: no requests recorded")
+		case rep.Status5xx > 0:
+			cliutil.Fatalf("check failed: %d 5xx responses", rep.Status5xx)
+		case rep.Errors > 0:
+			cliutil.Fatalf("check failed: %d errors", rep.Errors)
+		}
+	}
+	cliutil.Shutdown()
+}

@@ -226,7 +226,7 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 	}
 
 	mSearchRuns.Inc()
-	sp := obs.StartSpan("core.search.greedy")
+	sp := obs.StartSpanCtx(ctx, "core.search.greedy")
 	sp.Int("capacity_bits", int64(opts.CapacityBits))
 	sp.Str("method", opts.Method.String())
 

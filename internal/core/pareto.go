@@ -119,7 +119,7 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 
 	mSearchRuns.Inc()
 	gSearchChunks.Set(float64(len(chunks)))
-	runSpan := obs.StartSpan("core.search.pareto")
+	runSpan := obs.StartSpanCtx(ctx, "core.search.pareto")
 	runSpan.Int("capacity_bits", int64(opts.CapacityBits))
 	runSpan.Str("method", opts.Method.String())
 	runSpan.Int("chunks", int64(len(chunks)))
@@ -153,7 +153,7 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 					return
 				}
 				chunkStart := time.Now()
-				sp := obs.StartSpan("core.search.chunk")
+				sp := obs.StartSpanCtx(sctx, "core.search.chunk")
 				evals0 := slot.stats.Evaluated
 				flushed := evals0
 				endChunk := func(completed bool) {

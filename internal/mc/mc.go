@@ -167,7 +167,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	// N1+N2 pending samples instead of whichever run registered last.
 	gSamplesTotal.Add(float64(cfg.N))
 	defer gSamplesTotal.Add(-float64(cfg.N))
-	runSpan := obs.StartSpan("mc.run")
+	runSpan := obs.StartSpanCtx(ctx, "mc.run")
 	runSpan.Int("n", int64(cfg.N))
 	runSpan.Int("seed", cfg.Seed)
 
@@ -198,7 +198,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				if errs[i] != nil {
 					mSampleFails.Inc()
 				} else if obs.Enabled() {
-					obs.Point("mc.sample", obs.I64("i", int64(i)), obs.F64("min_margin", samples[i].Min()))
+					obs.PointCtx(ctx, "mc.sample", obs.I64("i", int64(i)), obs.F64("min_margin", samples[i].Min()))
 				}
 			}
 		}()

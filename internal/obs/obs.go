@@ -21,6 +21,7 @@
 package obs
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 )
@@ -80,6 +81,7 @@ type Event struct {
 	Name  string
 	Kind  Kind
 	Dur   time.Duration // span length; 0 for points
+	Trace TraceID       // request correlation; zero for untraced work
 	Attrs []Attr
 }
 
@@ -133,6 +135,7 @@ type Span struct {
 	sink  Sink
 	name  string
 	start time.Time
+	trace TraceID
 	attrs [maxSpanAttrs]Attr
 	n     int
 }
@@ -145,6 +148,18 @@ func StartSpan(name string) Span {
 		return Span{}
 	}
 	return Span{sink: b.s, name: name, start: time.Now()}
+}
+
+// StartSpanCtx opens a span carrying the trace ID stored in ctx (see
+// ContextWithTrace), so every span below one request shares its ID. Like
+// StartSpan, the disabled path returns the zero Span without reading the
+// clock or the context, and allocates nothing.
+func StartSpanCtx(ctx context.Context, name string) Span {
+	b := globalSink.Load()
+	if b == nil {
+		return Span{}
+	}
+	return Span{sink: b.s, name: name, start: time.Now(), trace: TraceIDFrom(ctx)}
 }
 
 // On reports whether the span is live (tracing was enabled at StartSpan).
@@ -185,6 +200,7 @@ func (sp *Span) End() {
 		Name:  sp.name,
 		Kind:  KindSpan,
 		Dur:   end.Sub(sp.start),
+		Trace: sp.trace,
 		Attrs: attrs,
 	})
 }
@@ -198,4 +214,14 @@ func Point(name string, attrs ...Attr) {
 		return
 	}
 	b.s.Emit(Event{Time: time.Now(), Name: name, Kind: KindPoint, Attrs: attrs})
+}
+
+// PointCtx emits an instantaneous event tagged with the trace ID carried by
+// ctx, correlating the point with the request whose work produced it.
+func PointCtx(ctx context.Context, name string, attrs ...Attr) {
+	b := globalSink.Load()
+	if b == nil {
+		return
+	}
+	b.s.Emit(Event{Time: time.Now(), Name: name, Kind: KindPoint, Trace: TraceIDFrom(ctx), Attrs: attrs})
 }

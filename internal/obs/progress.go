@@ -22,10 +22,18 @@ type Progress struct {
 	once sync.Once
 }
 
-// StartProgress launches the ticker. interval ≤ 0 selects 500 ms.
+// DefaultProgressInterval is the tick period StartProgress substitutes for
+// a non-positive interval: fast enough to feel live, slow enough that the
+// render function (typically registry reads) is never a measurable cost.
+const DefaultProgressInterval = 500 * time.Millisecond
+
+// StartProgress launches the ticker. A non-positive interval is not an
+// error: it selects DefaultProgressInterval, so callers may pass an unset
+// config value directly. Stop is idempotent and always waits for the
+// ticker goroutine to exit, even when called before the first tick.
 func StartProgress(w io.Writer, interval time.Duration, render func() string) *Progress {
 	if interval <= 0 {
-		interval = 500 * time.Millisecond
+		interval = DefaultProgressInterval
 	}
 	p := &Progress{w: w, interval: interval, render: render, stop: make(chan struct{})}
 	p.done.Add(1)
@@ -49,7 +57,8 @@ func (p *Progress) loop() {
 }
 
 // Stop halts the ticker, prints the final line, and waits for the
-// goroutine to exit. Safe to call more than once.
+// goroutine to exit. Safe to call more than once (later calls just wait),
+// and safe to call before the first tick has fired.
 func (p *Progress) Stop() {
 	p.once.Do(func() { close(p.stop) })
 	p.done.Wait()

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promNameRe is the Prometheus exposition-format metric/label name charset.
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promLine is one parsed sample: family member name, raw label block
+// (brace-less) and value.
+type promLine struct {
+	name   string
+	labels string
+	value  string
+}
+
+// parsePromLine splits `name{labels} value` / `name value`. The label block
+// can contain escaped quotes, so it scans for the closing brace outside a
+// quoted string rather than splitting naively.
+func parsePromLine(t *testing.T, line string) promLine {
+	t.Helper()
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace < 0 || (sp >= 0 && sp < brace) {
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		return promLine{name: line[:sp], value: line[sp+1:]}
+	}
+	inQuote, esc := false, false
+	for i := brace + 1; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == '}' && !inQuote:
+			rest := line[i+1:]
+			if !strings.HasPrefix(rest, " ") {
+				t.Fatalf("no value after label block in %q", line)
+			}
+			return promLine{name: line[:brace], labels: line[brace+1 : i], value: rest[1:]}
+		}
+	}
+	t.Fatalf("unterminated label block in %q", line)
+	return promLine{}
+}
+
+// TestWritePromLint is a promlint-style conformance test for the exposition
+// writer: family typing, naming, label escaping and histogram bucket
+// invariants, checked on a snapshot that exercises every shape at once.
+func TestWritePromLint(t *testing.T) {
+	snap := Snapshot{
+		Counters: map[string]int64{
+			"serve.requests": 7,
+			LabeledName("serve.request_errors", "endpoint", "/v1/optimize"): 2,
+			LabeledName("serve.request_errors", "endpoint", "/v1/batch"):    1,
+			// Label values needing every escape: backslash, quote, newline.
+			LabeledName("odd.counter", "path", `C:\tmp`, "msg", "say \"hi\"\nbye"): 3,
+		},
+		Gauges: map[string]float64{
+			"runtime.goroutines":                  42,
+			LabeledName("pool.used", "pool", "a"): 0.5,
+			LabeledName("pool.used", "pool", "b"): 1.5,
+		},
+		Histograms: map[string]HistSnapshot{
+			LabeledName("serve.request_duration", "endpoint", "/v1/optimize", "outcome", "miss"): {
+				Count:  6,
+				SumSec: 0.25,
+				Buckets: []BucketCount{
+					{LeSec: 0.001, N: 3},
+					{LeSec: 0.016, N: 2},
+					{LeSec: 0, N: 1}, // overflow: folds into +Inf only
+				},
+			},
+			LabeledName("serve.request_duration", "endpoint", "/v1/optimize", "outcome", "hit"): {
+				Count:   2,
+				SumSec:  0.002,
+				Buckets: []BucketCount{{LeSec: 0.001, N: 2}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// The newline inside a label value must have been escaped: every
+	// physical line is either a TYPE comment or a sample.
+	typeOf := map[string]string{} // family → counter|gauge|histogram
+	typeSeen := map[string]int{}
+	var samples []promLine
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			fam, typ := f[2], f[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Errorf("unknown type %q in %q", typ, line)
+			}
+			typeOf[fam] = typ
+			typeSeen[fam]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		samples = append(samples, parsePromLine(t, line))
+	}
+	for fam, n := range typeSeen {
+		if n != 1 {
+			t.Errorf("family %s has %d TYPE lines, want exactly 1", fam, n)
+		}
+	}
+
+	// famOf maps a sample name back to its family (histograms emit
+	// _bucket/_sum/_count members under the family name).
+	famOf := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if typ, ok := typeOf[base]; ok && typ == "histogram" {
+					return base
+				}
+			}
+		}
+		return name
+	}
+
+	type histKey struct{ fam, labels string }
+	buckets := map[histKey][]struct {
+		le  float64
+		n   int64
+		inf bool
+	}{}
+	counts := map[histKey]int64{}
+	sums := map[histKey]bool{}
+
+	for _, s := range samples {
+		if !promNameRe.MatchString(s.name) {
+			t.Errorf("sample name %q violates the exposition charset", s.name)
+		}
+		fam := famOf(s.name)
+		typ, ok := typeOf[fam]
+		if !ok {
+			t.Errorf("sample %q has no TYPE line", s.name)
+			continue
+		}
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(s.value, "+"), 64); err != nil && s.value != "+Inf" {
+			t.Errorf("sample %s value %q is not a number", s.name, s.value)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		// Collect histogram members, splitting le off the label block.
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, rest := "", make([]string, 0, 4)
+			for _, part := range splitLabels(t, s.labels) {
+				if v, ok := strings.CutPrefix(part, `le="`); ok {
+					le = strings.TrimSuffix(v, `"`)
+				} else {
+					rest = append(rest, part)
+				}
+			}
+			if le == "" {
+				t.Errorf("bucket sample %q has no le label", s.labels)
+				continue
+			}
+			k := histKey{fam, strings.Join(rest, ",")}
+			n, _ := strconv.ParseInt(s.value, 10, 64)
+			b := struct {
+				le  float64
+				n   int64
+				inf bool
+			}{n: n, inf: le == "+Inf"}
+			if !b.inf {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Errorf("unparseable le %q", le)
+				}
+				b.le = v
+			}
+			buckets[k] = append(buckets[k], b)
+		case strings.HasSuffix(s.name, "_count"):
+			n, _ := strconv.ParseInt(s.value, 10, 64)
+			counts[histKey{fam, s.labels}] = n
+		case strings.HasSuffix(s.name, "_sum"):
+			sums[histKey{fam, s.labels}] = true
+		}
+	}
+
+	if len(buckets) != 2 {
+		t.Fatalf("got %d histogram series, want 2 (hit and miss)", len(buckets))
+	}
+	for k, bs := range buckets {
+		if !bs[len(bs)-1].inf {
+			t.Errorf("series %v: last bucket is not +Inf", k)
+		}
+		for i := 1; i < len(bs); i++ {
+			if !bs[i].inf && bs[i].le <= bs[i-1].le {
+				t.Errorf("series %v: le bounds not ascending", k)
+			}
+			if bs[i].n < bs[i-1].n {
+				t.Errorf("series %v: bucket counts not cumulative", k)
+			}
+		}
+		want, ok := counts[k]
+		if !ok {
+			t.Errorf("series %v: no _count sample", k)
+		}
+		if got := bs[len(bs)-1].n; got != want {
+			t.Errorf("series %v: +Inf bucket %d != _count %d", k, got, want)
+		}
+		if !sums[k] {
+			t.Errorf("series %v: no _sum sample", k)
+		}
+	}
+	// The overflow observation is in +Inf but in no bounded bucket.
+	missKey := histKey{"serve_request_duration_seconds", `endpoint="/v1/optimize",outcome="miss"`}
+	bs, ok := buckets[missKey]
+	if !ok {
+		keys := make([]string, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, fmt.Sprintf("%v", k))
+		}
+		sort.Strings(keys)
+		t.Fatalf("miss series not found; have %v", keys)
+	}
+	if last := bs[len(bs)-2]; last.inf || last.n != 5 {
+		t.Errorf("largest bounded bucket = %+v, want cumulative 5 (overflow excluded)", last)
+	}
+	if bs[len(bs)-1].n != 6 {
+		t.Errorf("+Inf = %d, want 6 (overflow included)", bs[len(bs)-1].n)
+	}
+
+	// Escaping: the rendered label block holds the escaped forms, and the
+	// raw newline never leaks into the output.
+	if !strings.Contains(out, `path="C:\\tmp"`) {
+		t.Errorf("backslash not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="say \"hi\"\nbye"`) {
+		t.Errorf("quote/newline not escaped:\n%s", out)
+	}
+}
+
+// splitLabels splits a label block on commas outside quoted values.
+func splitLabels(t *testing.T, block string) []string {
+	t.Helper()
+	if block == "" {
+		return nil
+	}
+	var parts []string
+	start, inQuote, esc := 0, false, false
+	for i := 0; i < len(block); i++ {
+		switch {
+		case esc:
+			esc = false
+		case block[i] == '\\':
+			esc = true
+		case block[i] == '"':
+			inQuote = !inQuote
+		case block[i] == ',' && !inQuote:
+			parts = append(parts, block[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, block[start:])
+}
+
+// TestLabeledNameCanonical locks the LabeledName contract: sorted keys, so
+// argument order cannot split one logical series into two registry entries.
+func TestLabeledNameCanonical(t *testing.T) {
+	a := LabeledName("m", "b", "2", "a", "1")
+	b := LabeledName("m", "a", "1", "b", "2")
+	if a != b {
+		t.Fatalf("label order changed the name: %q vs %q", a, b)
+	}
+	if a != `m{a="1",b="2"}` {
+		t.Fatalf("canonical form = %q", a)
+	}
+	if got := LabeledName("m"); got != "m" {
+		t.Fatalf("no labels should return the base, got %q", got)
+	}
+	// Label keys are sanitized like metric names.
+	if got := LabeledName("m", "end-point", "x"); got != `m{end_point="x"}` {
+		t.Fatalf("key not sanitized: %q", got)
+	}
+	base, labels := splitLabeledName(a)
+	if base != "m" || labels != `a="1",b="2"` {
+		t.Fatalf("splitLabeledName = %q, %q", base, labels)
+	}
+}

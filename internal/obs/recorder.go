@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// defaultRecorderCap is the ring capacity NewRecorder selects for
+// capacity ≤ 0: enough for a few hundred requests' spans without growing
+// the resident set noticeably (an Event is ~100 B plus attrs).
+const defaultRecorderCap = 4096
+
+// Recorder is a bounded in-memory ring buffer of trace events — the store
+// behind sramd's /debug/trace endpoint. It keeps the most recent `capacity`
+// events; once full, every new event overwrites the oldest one, so the
+// newest trace is always fully retained as long as it fits in the ring
+// (older traces lose events head-first). Emit is safe for concurrent use
+// and never blocks on anything but its own mutex.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int    // ring write cursor
+	total uint64 // events ever emitted; total >= len(buf) means the ring wrapped
+}
+
+// NewRecorder returns a recorder holding up to capacity events
+// (capacity ≤ 0 selects the default).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = defaultRecorderCap
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink. The event's Attrs are copied: the tracer hands over
+// a fresh slice today, but buffering sinks must not rely on that.
+func (r *Recorder) Emit(ev Event) {
+	if len(ev.Attrs) > 0 {
+		attrs := make([]Attr, len(ev.Attrs))
+		copy(attrs, ev.Attrs)
+		ev.Attrs = attrs
+	}
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently buffered.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Events returns the buffered events oldest-first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.eventsLocked()
+}
+
+func (r *Recorder) eventsLocked() []Event {
+	if r.total < uint64(len(r.buf)) {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// TraceEvent is the JSON form of one recorded event inside a TraceDump.
+type TraceEvent struct {
+	TS    string         `json:"ts"`
+	Kind  string         `json:"kind"`
+	Name  string         `json:"name"`
+	DurNS int64          `json:"dur_ns,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceDump is one request's recorded events, grouped by trace ID.
+type TraceDump struct {
+	TraceID string       `json:"trace_id"`
+	Start   time.Time    `json:"start"`
+	Events  []TraceEvent `json:"events"`
+}
+
+// Traces groups the buffered events by trace ID and returns up to limit
+// traces, most recently active first (limit ≤ 0 means all). Untraced events
+// (zero trace ID — background work like catalog builds started outside any
+// request) are not part of any dump; read them with Events.
+func (r *Recorder) Traces(limit int) []TraceDump {
+	r.mu.Lock()
+	evs := r.eventsLocked()
+	r.mu.Unlock()
+
+	idx := make(map[TraceID]int) // trace → position in dumps
+	var dumps []TraceDump
+	order := make([]int, 0, 8) // dump positions, most recently active last
+	for _, ev := range evs {
+		if ev.Trace.IsZero() {
+			continue
+		}
+		pos, ok := idx[ev.Trace]
+		if !ok {
+			pos = len(dumps)
+			idx[ev.Trace] = pos
+			dumps = append(dumps, TraceDump{TraceID: ev.Trace.String(), Start: ev.Time})
+		} else {
+			// Move the trace to the back of the recency order.
+			for i, p := range order {
+				if p == pos {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+		}
+		order = append(order, pos)
+		te := TraceEvent{
+			TS:    ev.Time.UTC().Format(time.RFC3339Nano),
+			Kind:  ev.Kind.String(),
+			Name:  ev.Name,
+			DurNS: int64(ev.Dur),
+		}
+		if len(ev.Attrs) > 0 {
+			te.Attrs = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				te.Attrs[a.Key] = a.Value()
+			}
+		}
+		d := &dumps[pos]
+		d.Events = append(d.Events, te)
+		if ev.Time.Before(d.Start) {
+			d.Start = ev.Time
+		}
+	}
+	out := make([]TraceDump, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		out = append(out, dumps[order[i]])
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}

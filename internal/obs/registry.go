@@ -185,6 +185,18 @@ func (r *Registry) GaugeValue(name string) float64 {
 	return g.Value()
 }
 
+// HistogramCount returns the named histogram's observation count, or 0 if
+// it does not exist. Reporting helper (tests asserting on labeled series).
+func (r *Registry) HistogramCount(name string) int64 {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h == nil {
+		return 0
+	}
+	return h.Count()
+}
+
 // Reset zeroes every registered metric (the metrics stay registered).
 // Intended for tests that compare runs.
 func (r *Registry) Reset() {
@@ -274,6 +286,77 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// LabeledName builds a registry name carrying Prometheus-style labels:
+// base{k="v",k2="v2"}. The labeled name is an ordinary registry key — the
+// registry itself stays a flat namespace — but Snapshot.WriteProm recognizes
+// the form and emits the labels as real Prometheus labels on the family
+// named by base. kv is alternating key, value pairs; pairs are sorted by key
+// so any argument order yields the same series, and values are escaped per
+// the exposition format (backslash, double quote, newline). Label keys are
+// sanitized like metric names. Callers on hot paths should build the name
+// once and cache the returned metric pointer.
+func LabeledName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{promName(kv[i]), kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text exposition
+// format: backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabeledName splits a registry name of the LabeledName form into the
+// family base and the brace-less label block; labels is "" for plain names.
+func splitLabeledName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
 // promName maps a dotted metric name to the Prometheus exposition charset:
 // every character outside [a-zA-Z0-9_:] becomes '_'.
 func promName(name string) string {
@@ -290,10 +373,41 @@ func promName(name string) string {
 	return b.String()
 }
 
+// promSeries is one sample line's identity within a family: the label
+// block (without braces, possibly empty) and the registry name it came
+// from.
+type promSeries struct {
+	labels string
+	name   string
+}
+
+// groupFamilies buckets registry names by Prometheus family (promName of
+// the base, before any LabeledName block) and returns the sorted family
+// list with each family's series sorted by label block — the deterministic
+// emission order of WriteProm.
+func groupFamilies(names []string) (ordered []string, byFamily map[string][]promSeries) {
+	byFamily = make(map[string][]promSeries)
+	for _, n := range names {
+		base, labels := splitLabeledName(n)
+		fam := promName(base)
+		byFamily[fam] = append(byFamily[fam], promSeries{labels: labels, name: n})
+	}
+	ordered = make([]string, 0, len(byFamily))
+	for fam, series := range byFamily {
+		sort.Slice(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+		ordered = append(ordered, fam)
+	}
+	sort.Strings(ordered)
+	return ordered, byFamily
+}
+
 // WriteProm renders the snapshot in the Prometheus text exposition format:
 // counters and gauges as single samples, histograms as cumulative
-// `_bucket{le=...}` series with `_sum`/`_count`. Families are emitted in
-// sorted name order, so the output is deterministic for fixed values.
+// `_bucket{le=...}` series with `_sum`/`_count`. Registry names built with
+// LabeledName become real labeled series: every name sharing a base is one
+// family with a single # TYPE line and one sample (or bucket set) per label
+// combination. Families are emitted in sorted name order and series in
+// sorted label order, so the output is deterministic for fixed values.
 func (s Snapshot) WriteProm(w io.Writer) error {
 	var err error
 	pf := func(format string, args ...any) {
@@ -301,43 +415,67 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	// sample renders "name value" with an optional pre-rendered label block
+	// and optional extra label (the histogram `le`).
+	sample := func(fam, labels, extra, value string) {
+		switch {
+		case labels == "" && extra == "":
+			pf("%s %s\n", fam, value)
+		case labels == "":
+			pf("%s{%s} %s\n", fam, extra, value)
+		case extra == "":
+			pf("%s{%s} %s\n", fam, labels, value)
+		default:
+			pf("%s{%s,%s} %s\n", fam, labels, extra, value)
+		}
+	}
+
 	counterNames := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
 		counterNames = append(counterNames, n)
 	}
-	sort.Strings(counterNames)
-	for _, n := range counterNames {
-		pn := promName(n)
-		pf("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	ordered, families := groupFamilies(counterNames)
+	for _, fam := range ordered {
+		pf("# TYPE %s counter\n", fam)
+		for _, sr := range families[fam] {
+			sample(fam, sr.labels, "", fmt.Sprintf("%d", s.Counters[sr.name]))
+		}
 	}
+
 	gaugeNames := make([]string, 0, len(s.Gauges))
 	for n := range s.Gauges {
 		gaugeNames = append(gaugeNames, n)
 	}
-	sort.Strings(gaugeNames)
-	for _, n := range gaugeNames {
-		pn := promName(n)
-		pf("# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[n])
+	ordered, families = groupFamilies(gaugeNames)
+	for _, fam := range ordered {
+		pf("# TYPE %s gauge\n", fam)
+		for _, sr := range families[fam] {
+			sample(fam, sr.labels, "", fmt.Sprintf("%g", s.Gauges[sr.name]))
+		}
 	}
+
 	histNames := make([]string, 0, len(s.Histograms))
 	for n := range s.Histograms {
 		histNames = append(histNames, n)
 	}
-	sort.Strings(histNames)
-	for _, n := range histNames {
-		h := s.Histograms[n]
-		pn := promName(n) + "_seconds"
-		pf("# TYPE %s histogram\n", pn)
-		cum := int64(0)
-		for _, b := range h.Buckets {
-			cum += b.N
-			if b.LeSec == 0 { // overflow bucket folds into +Inf below
-				continue
+	ordered, families = groupFamilies(histNames)
+	for _, base := range ordered {
+		fam := base + "_seconds"
+		pf("# TYPE %s histogram\n", fam)
+		for _, sr := range families[base] {
+			h := s.Histograms[sr.name]
+			cum := int64(0)
+			for _, b := range h.Buckets {
+				cum += b.N
+				if b.LeSec == 0 { // overflow bucket folds into +Inf below
+					continue
+				}
+				sample(fam+"_bucket", sr.labels, fmt.Sprintf("le=\"%g\"", b.LeSec), fmt.Sprintf("%d", cum))
 			}
-			pf("%s_bucket{le=\"%g\"} %d\n", pn, b.LeSec, cum)
+			sample(fam+"_bucket", sr.labels, `le="+Inf"`, fmt.Sprintf("%d", h.Count))
+			sample(fam+"_sum", sr.labels, "", fmt.Sprintf("%g", h.SumSec))
+			sample(fam+"_count", sr.labels, "", fmt.Sprintf("%d", h.Count))
 		}
-		pf("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
-		pf("%s_sum %g\n%s_count %d\n", pn, h.SumSec, pn, h.Count)
 	}
 	return err
 }

@@ -13,6 +13,7 @@ type jsonEvent struct {
 	TS    string         `json:"ts"`
 	Kind  string         `json:"kind"`
 	Name  string         `json:"name"`
+	Trace string         `json:"trace,omitempty"`
 	DurNS int64          `json:"dur_ns,omitempty"`
 	Attrs map[string]any `json:"attrs,omitempty"`
 }
@@ -38,6 +39,9 @@ func (s *JSONLSink) Emit(ev Event) {
 		Kind:  ev.Kind.String(),
 		Name:  ev.Name,
 		DurNS: int64(ev.Dur),
+	}
+	if !ev.Trace.IsZero() {
+		je.Trace = ev.Trace.String()
 	}
 	if len(ev.Attrs) > 0 {
 		je.Attrs = make(map[string]any, len(ev.Attrs))
@@ -67,10 +71,13 @@ func NewTextSink(w io.Writer) *SlogSink {
 
 // Emit implements Sink.
 func (s *SlogSink) Emit(ev Event) {
-	args := make([]any, 0, 2+2*len(ev.Attrs))
+	args := make([]any, 0, 4+2*len(ev.Attrs))
 	args = append(args, "kind", ev.Kind.String())
 	if ev.Kind == KindSpan {
 		args = append(args, "dur", ev.Dur)
+	}
+	if !ev.Trace.IsZero() {
+		args = append(args, "trace", ev.Trace.String())
 	}
 	for _, a := range ev.Attrs {
 		args = append(args, a.Key, a.Value())

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Trace identity. A TraceID names one logical request end to end: the HTTP
+// layer mints (or adopts, from an inbound W3C traceparent header) one ID per
+// request, stores it in the request context, and every span started with
+// StartSpanCtx below that point carries it. The ID doubles as the
+// client-visible request ID (X-Request-Id), so a client-observed failure can
+// be joined against server-side spans, access-log lines and /debug/trace
+// dumps without any other correlation key.
+
+// TraceID is a 16-byte W3C trace-context trace identifier. The zero value
+// means "untraced".
+type TraceID [16]byte
+
+// SpanID is an 8-byte W3C trace-context span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset (the W3C invalid all-zero ID).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// ParseTraceID parses 32 hex digits; ok is false for malformed or all-zero
+// input.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// idState is the process-local PRNG behind NewTraceID/NewSpanID: a SplitMix64
+// walk from a crypto-random origin. IDs must be unique and cheap, not
+// unguessable — a single atomic add per 8 bytes keeps ID minting off the
+// request hot path's profile.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	_, _ = rand.Read(seed[:]) // a zero seed still yields a valid sequence
+	idState.Store(binary.LittleEndian.Uint64(seed[:]))
+}
+
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 { // keep the all-zero (invalid) IDs unreachable
+		x = 1
+	}
+	return x
+}
+
+// NewTraceID mints a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID mints a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// ParseTraceparent extracts the trace ID and parent span ID from a W3C
+// traceparent header ("00-<32 hex>-<16 hex>-<2 hex>"). Unknown versions are
+// accepted as long as the fixed prefix parses (per spec); malformed values
+// and the all-zero IDs are rejected.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	if !isHex(h[:2]) || h[:2] == "ff" {
+		return TraceID{}, SpanID{}, false
+	}
+	tid, ok := ParseTraceID(h[3:35])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	var sid SpanID
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil || sid == (SpanID{}) {
+		return TraceID{}, SpanID{}, false
+	}
+	if !isHex(h[53:55]) {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// "sampled" flag set. Single-allocation: it runs once per served request.
+func FormatTraceparent(t TraceID, s SpanID) string {
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = hex.AppendEncode(b, t[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, s[:])
+	b = append(b, "-01"...)
+	return string(b)
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// traceKey keys the TraceID stored in a context.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying the trace ID. A zero ID
+// returns ctx unchanged, so untraced callers stay allocation-free.
+func ContextWithTrace(ctx context.Context, id TraceID) context.Context {
+	if id.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or the zero ID.
+func TraceIDFrom(ctx context.Context) TraceID {
+	if id, ok := ctx.Value(traceKey{}).(TraceID); ok {
+		return id
+	}
+	return TraceID{}
+}

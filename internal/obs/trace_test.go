@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID minted the invalid all-zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", s, back, ok)
+	}
+	if _, ok := ParseTraceID(strings.Repeat("0", 32)); ok {
+		t.Error("all-zero trace ID accepted")
+	}
+	if _, ok := ParseTraceID("xyz"); ok {
+		t.Error("short input accepted")
+	}
+	if _, ok := ParseTraceID(strings.Repeat("g", 32)); ok {
+		t.Error("non-hex input accepted")
+	}
+}
+
+func TestNewTraceIDsAreDistinct(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID after %d mints", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		sid = "00f067aa0ba902b7"
+	)
+	good := "00-" + tid + "-" + sid + "-01"
+	gotT, gotS, ok := ParseTraceparent(good)
+	if !ok || gotT.String() != tid || gotS.String() != sid {
+		t.Fatalf("ParseTraceparent(%q) = %v %v %v", good, gotT, gotS, ok)
+	}
+	// Unknown future version with trailing fields is accepted per spec.
+	if _, _, ok := ParseTraceparent("cc-" + tid + "-" + sid + "-01-extra"); !ok {
+		t.Error("future version with extra data rejected")
+	}
+	bad := []string{
+		"",
+		"00-" + tid + "-" + sid,         // truncated
+		"ff-" + tid + "-" + sid + "-01", // forbidden version
+		"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", // zero trace
+		"00-" + tid + "-0000000000000000-01",                // zero span
+		"00_" + tid + "-" + sid + "-01",                     // bad separator
+		"0g-" + tid + "-" + sid + "-01",                     // non-hex version
+		"00-" + tid + "-" + sid + "-zz",                     // non-hex flags
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+	// Format → parse is the identity.
+	t2, s2, ok := ParseTraceparent(FormatTraceparent(gotT, gotS))
+	if !ok || t2 != gotT || s2 != gotS {
+		t.Error("FormatTraceparent does not round-trip")
+	}
+}
+
+func TestContextTrace(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceIDFrom(ctx); !got.IsZero() {
+		t.Fatalf("empty context carries trace %v", got)
+	}
+	// Zero ID: context unchanged, no allocation of a values node.
+	if ContextWithTrace(ctx, TraceID{}) != ctx {
+		t.Error("zero trace ID should return ctx unchanged")
+	}
+	id := NewTraceID()
+	tctx := ContextWithTrace(ctx, id)
+	if got := TraceIDFrom(tctx); got != id {
+		t.Fatalf("TraceIDFrom = %v, want %v", got, id)
+	}
+}
+
+// TestStartSpanCtxDisabledZeroAllocs extends the no-op guarantee to the
+// context-carrying span API: with no sink installed, StartSpanCtx must not
+// read the context, the clock, or allocate.
+func TestStartSpanCtxDisabledZeroAllocs(t *testing.T) {
+	prev := SetSink(nil)
+	defer SetSink(prev)
+	ctx := ContextWithTrace(context.Background(), NewTraceID())
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpanCtx(ctx, "hot")
+		sp.Int("n", 1)
+		sp.End()
+		PointCtx(ctx, "tick")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpanCtx allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSpanCarriesTraceToSink(t *testing.T) {
+	col := &CollectorSink{}
+	prev := SetSink(col)
+	defer SetSink(prev)
+	id := NewTraceID()
+	ctx := ContextWithTrace(context.Background(), id)
+	sp := StartSpanCtx(ctx, "work")
+	sp.End()
+	PointCtx(ctx, "tick")
+	evs := col.Events()
+	if len(evs) != 2 || evs[0].Trace != id || evs[1].Trace != id {
+		t.Fatalf("events did not carry the context trace ID: %+v", evs)
+	}
+}
+
+func emitTrace(r *Recorder, id TraceID, name string, n int) {
+	for i := 0; i < n; i++ {
+		r.Emit(Event{
+			Time:  time.Date(2026, 8, 8, 0, 0, i, 0, time.UTC),
+			Name:  fmt.Sprintf("%s.%d", name, i),
+			Kind:  KindSpan,
+			Dur:   time.Millisecond,
+			Trace: id,
+		})
+	}
+}
+
+// TestRecorderNewestTraceSurvivesWrap is the ring's core guarantee: once
+// full, new events overwrite the oldest, so the latest trace is always fully
+// retained while older traces lose events head-first.
+func TestRecorderNewestTraceSurvivesWrap(t *testing.T) {
+	r := NewRecorder(8)
+	old, fresh := NewTraceID(), NewTraceID()
+	emitTrace(r, old, "old", 8)
+	emitTrace(r, fresh, "new", 3)
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want the capacity 8", got)
+	}
+	dumps := r.Traces(0)
+	if len(dumps) != 2 {
+		t.Fatalf("got %d traces, want 2: %+v", len(dumps), dumps)
+	}
+	// Most recently active first, and complete.
+	if dumps[0].TraceID != fresh.String() || len(dumps[0].Events) != 3 {
+		t.Fatalf("newest trace = %s with %d events, want %s with 3",
+			dumps[0].TraceID, len(dumps[0].Events), fresh)
+	}
+	if dumps[0].Events[0].Name != "new.0" || dumps[0].Events[2].Name != "new.2" {
+		t.Errorf("newest trace events out of order: %+v", dumps[0].Events)
+	}
+	// The old trace lost its 3 oldest events to the overwrite.
+	if dumps[1].TraceID != old.String() || len(dumps[1].Events) != 5 {
+		t.Fatalf("old trace kept %d events, want 5", len(dumps[1].Events))
+	}
+	if dumps[1].Events[0].Name != "old.3" {
+		t.Errorf("old trace should have lost its head, first event %q", dumps[1].Events[0].Name)
+	}
+	// limit applies to traces, newest first.
+	if lim := r.Traces(1); len(lim) != 1 || lim[0].TraceID != fresh.String() {
+		t.Errorf("Traces(1) = %+v, want just the newest trace", lim)
+	}
+}
+
+func TestRecorderSkipsUntracedEventsInDumps(t *testing.T) {
+	r := NewRecorder(16)
+	r.Emit(Event{Name: "background", Kind: KindPoint}) // zero trace
+	id := NewTraceID()
+	emitTrace(r, id, "req", 2)
+	if dumps := r.Traces(0); len(dumps) != 1 || len(dumps[0].Events) != 2 {
+		t.Fatalf("dumps = %+v, want one trace with 2 events", dumps)
+	}
+	if got := r.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3 (untraced events still buffered)", got)
+	}
+}
+
+// TestRecorderConcurrent hammers Emit from many goroutines while readers
+// pull Traces and Events; run under -race this is the recorder's thread-
+// safety proof, and the final event count must be exact.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		each    = 500
+		ringCap = 256
+	)
+	r := NewRecorder(ringCap)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Traces(4)
+				r.Events()
+				r.Len()
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			id := NewTraceID()
+			for i := 0; i < each; i++ {
+				r.Emit(Event{Name: "e", Kind: KindSpan, Trace: id,
+					Attrs: []Attr{I64("i", int64(i))}})
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Len(); got != ringCap {
+		t.Fatalf("Len = %d after %d emits, want %d", got, writers*each, ringCap)
+	}
+	n := 0
+	for _, d := range r.Traces(0) {
+		n += len(d.Events)
+	}
+	if n != ringCap {
+		t.Fatalf("traces hold %d events total, want %d", n, ringCap)
+	}
+}
+
+// TestProgressStopBeforeTickNoLeak locks in the Stop contract: calling Stop
+// before the first tick, and calling it twice, neither panics nor leaks the
+// ticker goroutine. Non-positive intervals select the default instead of
+// failing.
+func TestProgressStopBeforeTickNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	// An interval far beyond the test's lifetime: Stop must not wait for a
+	// tick to come around.
+	p := StartProgress(io.Discard, time.Hour, func() string { return "x" })
+	p.Stop()
+	p.Stop() // idempotent
+	// Non-positive interval is documented to select the default, not panic.
+	for _, iv := range []time.Duration{0, -time.Second} {
+		q := StartProgress(io.Discard, iv, func() string { return "y" })
+		q.Stop()
+		q.Stop()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline: %d > %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -134,16 +134,22 @@ type batchResult struct {
 	Body   json.RawMessage `json:"body"`
 }
 
-func toBatchResult(idx int, op string, res cached, state string, err error) batchResult {
+// toBatchResult builds one streamed line and records the item's per-line
+// RED series: each batch item lands under the "/v1/batch:<op>" endpoint
+// label with the same outcome classification a standalone request gets, so
+// per-endpoint latency panels see through the batch envelope.
+func toBatchResult(idx int, op string, res cached, state string, err error, d time.Duration) batchResult {
 	if err != nil {
 		aerr := asAPIError(err)
 		mErrors.Inc()
+		observeRED("/v1/batch:"+op, outcomeFor(aerr.Status, state), d)
 		b, _ := json.Marshal(errorEnvelope{Error: *aerr})
 		return batchResult{Index: idx, Op: op, Status: aerr.Status, Body: b}
 	}
 	if res.status != http.StatusOK {
 		mErrors.Inc()
 	}
+	observeRED("/v1/batch:"+op, outcomeFor(res.status, state), d)
 	return batchResult{Index: idx, Op: op, Status: res.status, Cache: state, Body: res.body}
 }
 
@@ -207,7 +213,6 @@ func (e *batchEvaluator) eval(flavor sramco.Flavor, d sramco.Design, act sramco.
 // out onto the worker pool. One admit spans the whole batch, so draining
 // waits for it like any other request.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
 	mRequests.Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, &apiError{Status: http.StatusMethodNotAllowed, Message: "use POST with an NDJSON body"})
@@ -233,7 +238,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	defer func() { hReqDur.Observe(time.Since(start)) }()
 	mBatchItems.Add(int64(len(items)))
 
 	batchCtx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
@@ -256,8 +260,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				return s.optimizeResult(ctx, *it.opt)
 			}
+			t0 := time.Now()
 			res, state, err := s.respond(batchCtx, it.key(), fill)
-			results <- toBatchResult(i, it.op, res, state, err)
+			results <- toBatchResult(i, it.op, res, state, err, time.Since(t0))
 		}(i, it)
 	}
 	if len(evalIdx) > 0 {
@@ -273,15 +278,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				// items with the deadline error instead.
 				if batchCtx.Err() != nil {
 					for _, j := range evalIdx[n:] {
-						results <- toBatchResult(j, items[j].op, cached{}, "", context.Cause(batchCtx))
+						results <- toBatchResult(j, items[j].op, cached{}, "", context.Cause(batchCtx), 0)
 					}
 					return
 				}
 				it := items[i]
+				t0 := time.Now()
 				res, state, err := s.respond(batchCtx, it.key(), func(ctx context.Context) (any, error) {
 					return s.evaluateResult(*it.ev, ev)
 				})
-				results <- toBatchResult(i, it.op, res, state, err)
+				results <- toBatchResult(i, it.op, res, state, err, time.Since(t0))
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,6 +19,44 @@ func BenchmarkServeOptimizeCached(b *testing.B) {
 	s.Handler().ServeHTTP(rec, warm)
 	if rec.Code != http.StatusOK {
 		b.Fatalf("warm-up fill failed: %d %s", rec.Code, rec.Body.String())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(optimizeBody))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkServeOptimizeCatalogHit measures the fastest tier of the read
+// path with the full observability middleware in front: decode, normalize,
+// canonical key, catalog lookup, write — plus trace minting, the RED
+// histogram observe and the response headers. This is the guarded serving
+// benchmark: the middleware must stay within the bench-compare gate of the
+// pre-middleware baseline.
+func BenchmarkServeOptimizeCatalogHit(b *testing.B) {
+	s := New(framework(b), Config{})
+	cat, err := s.BuildCatalog(context.Background(), CatalogGrid{
+		CapacitiesBytes: []int{128},
+		Flavors:         []string{"hvt"},
+		Methods:         []string{"m2"},
+		Objectives:      []string{"edp"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.SetCatalog(cat)
+
+	warm := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(optimizeBody))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "catalog" {
+		b.Fatalf("warm-up: code %d X-Cache %q, want a catalog answer", rec.Code, rec.Header().Get("X-Cache"))
 	}
 
 	b.ReportAllocs()

@@ -70,7 +70,7 @@ func (s *Server) Catalog() *catalog.Catalog { return s.cat.Load() }
 func (s *Server) BuildCatalog(ctx context.Context, grid CatalogGrid) (*catalog.Catalog, error) {
 	start := time.Now()
 	mCatalogBuilds.Inc()
-	sp := obs.StartSpan("serve.catalog.build")
+	sp := obs.StartSpanCtx(ctx, "serve.catalog.build")
 	defer func() { sp.End(); hCatalogBuild.Observe(time.Since(start)) }()
 
 	b := catalog.NewBuilder(s.fw.Fingerprint())

@@ -35,8 +35,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,7 +62,6 @@ var (
 	mErrors     = obs.NewCounter("serve.errors")
 	mRejected   = obs.NewCounter("serve.rejected") // refused while draining
 	gInflight   = obs.NewGauge("serve.inflight")
-	hReqDur     = obs.NewHistogram("serve.request_duration")
 )
 
 // errDraining rejects new work once shutdown has begun.
@@ -71,6 +72,17 @@ type Config struct {
 	CacheSize int           // LRU result-cache entries (default 256; negative disables)
 	Timeout   time.Duration // per-request compute deadline cap (default 60s)
 	Workers   int           // concurrent optimizer runs (default GOMAXPROCS)
+
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, path, status, cache tier, duration, request ID). /healthz
+	// and /metrics probe traffic is not logged.
+	AccessLog *slog.Logger
+
+	// Recorder, when non-nil, enables the GET /debug/trace endpoint, which
+	// dumps the recorder's buffered spans grouped by trace. The caller is
+	// responsible for also installing the recorder as (part of) the obs
+	// sink — the server only reads from it.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -111,7 +123,8 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
-	mux *http.ServeMux
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
 
 	// Test seams: the concurrency tests gate these to hold fills open.
 	// evalHook, when set, runs at the top of every shared-Evaluator batch
@@ -146,11 +159,17 @@ func New(fw *sramco.Framework, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Recorder != nil {
+		s.mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	}
+	s.handler = s.instrument(s.mux)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the endpoint mux wrapped in
+// the request-observability middleware (trace propagation, RED metrics,
+// access logs — see instrument).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops admitting /v1/* requests (healthz flips to 503), waits for
 // every in-flight request to finish, and only then cancels the compute
@@ -245,9 +264,13 @@ func (s *Server) respond(waitCtx context.Context, key string, fill func(ctx cont
 		// The fill's deadline is the server cap, never the first caller's
 		// requested timeout: waitCtx already bounds each caller's wait, and
 		// deriving runCtx from a client deadline would abort the shared
-		// computation for everyone coalesced onto it.
+		// computation for everyone coalesced onto it. Only the leader's
+		// trace ID carries over, so the fill's search spans join the trace
+		// of the request that started it (coalesced waiters see the result,
+		// not the spans — DESIGN.md §10).
 		runCtx, cancelRun := context.WithTimeout(s.baseCtx, s.cfg.Timeout)
 		defer cancelRun()
+		runCtx = obs.ContextWithTrace(runCtx, obs.TraceIDFrom(waitCtx))
 		if err := s.acquire(runCtx); err != nil {
 			return cached{}, err
 		}
@@ -286,7 +309,6 @@ func (s *Server) respond(waitCtx context.Context, key string, fill func(ctx cont
 // serveCached is the shared request path of every single-item /v1/*
 // endpoint: admit, resolve through respond, write the result.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int, fill func(ctx context.Context) (any, error)) {
-	start := time.Now()
 	mRequests.Inc()
 	release, err := s.admit()
 	if err != nil {
@@ -294,7 +316,6 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		return
 	}
 	defer release()
-	defer func() { hReqDur.Observe(time.Since(start)) }()
 
 	waitCtx, cancelWait := context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
 	defer cancelWait()
@@ -539,6 +560,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sampleRuntimeGauges()
 	snap := obs.Default().Snapshot()
 	if r.URL.Query().Get("format") == "prom" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -549,6 +571,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := snap.WriteJSON(w); err != nil {
+		mErrors.Inc()
+	}
+}
+
+// handleDebugTrace answers GET /debug/trace: the span recorder's buffered
+// events grouped by trace ID, most recently active trace first, up to
+// ?limit=N traces (default 16, 0 = all).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	limit := 16
+	if q := r.URL.Query().Get("limit"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, badRequest("limit query parameter %q must be a non-negative integer", q))
+			return
+		}
+		limit = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.cfg.Recorder.Traces(limit)); err != nil {
 		mErrors.Inc()
 	}
 }
