@@ -2,7 +2,7 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build test check race-core race-serve vet-obs fuzz-smoke loadtest-smoke bench bench-compare catalog
+.PHONY: build test check race-core race-serve vet-obs fuzz-smoke loadtest-smoke bench bench-compare bench-prune catalog
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,12 @@ test:
 # the race detector. ./... covers the golden-regression tests (root package
 # and cmd/sramopt) and the serving layer's coalescing/drain tests, so check
 # is also the service e2e gate. The core search engine and the server are
-# explicitly concurrent — run this before every commit touching either.
+# explicitly concurrent — run this before every commit touching either. The
+# branch-and-bound parity and best-so-far race gates run first and verbosely,
+# so a pruning correctness break is named in the output, not buried in ./...
 check: vet-obs
 	$(GO) vet ./...
+	$(GO) test -race -run 'TestBranchAndBound|TestAtomicMinNeverRegresses' -v ./internal/core/
 	$(GO) test -race ./...
 	$(MAKE) loadtest-smoke
 
@@ -65,13 +68,21 @@ bench:
 BENCH_BASELINE = $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -n 1)
 bench-compare:
 	@test -n "$(BENCH_BASELINE)" || { echo "bench-compare: no BENCH_<date>.json baseline; run 'make bench' first"; exit 1; }
-	$(GO) test -json -bench='^(BenchmarkExhaustiveSearch16KB|BenchmarkModelEvaluation)$$' -benchmem -run='^$$' . > bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) test -json -bench='^(BenchmarkExhaustiveSearch16KB|BenchmarkExhaustiveSearch16KBPruned|BenchmarkModelEvaluation)$$' -benchmem -run='^$$' . > bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) test -json -bench='^(BenchmarkServeOptimizeCached|BenchmarkServeOptimizeCatalogHit|BenchmarkBatch64)$$' -benchmem -run='^$$' ./internal/serve/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) test -json -bench='^BenchmarkCatalogLookup$$' -benchmem -run='^$$' ./internal/catalog/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
+	$(GO) test -json -bench='^BenchmarkEvalBlock$$' -benchmem -run='^$$' ./internal/array/ >> bench_current.tmp.json || { rm -f bench_current.tmp.json; exit 1; }
 	$(GO) run ./cmd/benchcompare -baseline $(BENCH_BASELINE) -current bench_current.tmp.json \
-		BenchmarkExhaustiveSearch16KB BenchmarkModelEvaluation BenchmarkServeOptimizeCached \
-		BenchmarkServeOptimizeCatalogHit BenchmarkBatch64 BenchmarkCatalogLookup; \
+		BenchmarkExhaustiveSearch16KB BenchmarkExhaustiveSearch16KBPruned BenchmarkModelEvaluation \
+		BenchmarkServeOptimizeCached BenchmarkServeOptimizeCatalogHit BenchmarkBatch64 \
+		BenchmarkCatalogLookup BenchmarkEvalBlock; \
 		status=$$?; rm -f bench_current.tmp.json; exit $$status
+
+# bench-prune prints the branch-and-bound evaluated/pruned/skipped breakdown
+# for the golden capacity grid, so a bound change that prunes less — while
+# staying correct — is visible in review as an efficiency drop.
+bench-prune:
+	$(GO) run ./cmd/prunestats
 
 # catalog precomputes the default design-space grid into catalog.bin; sramd
 # loads it with -catalog and answers grid lookups without running a search.

@@ -151,9 +151,11 @@ func BenchmarkFig7DelayEnergyEDP(b *testing.B) {
 
 // BenchmarkExhaustiveSearch16KB measures the cost of the paper's largest
 // single exhaustive search (16 KB; the paper reports the whole §5 sweep
-// completes in under two minutes on a 2016 server). The chunks metric shows
-// the (row × VSSC) sharding: parallelism is bounded by chunks, not by the
-// four row candidates.
+// completes in under two minutes on a 2016 server), on the default
+// branch-and-bound path. The space-points metric is the full candidate
+// space (Evaluated + SkippedRSNM + PrunedBound) — constant whether or not
+// pruning fires — so benchcompare can normalize to ns per candidate point
+// instead of misreading a pruning change as a latency shift.
 func BenchmarkExhaustiveSearch16KB(b *testing.B) {
 	fw := benchFramework(b)
 	var stats SearchStats
@@ -164,9 +166,34 @@ func BenchmarkExhaustiveSearch16KB(b *testing.B) {
 		}
 		stats = opt.Stats
 	}
+	b.ReportMetric(float64(stats.Evaluated+stats.SkippedRSNM+stats.PrunedBound), "space-points")
 	b.ReportMetric(float64(stats.Evaluated), "model-evals")
+	b.ReportMetric(float64(stats.PrunedBound), "pruned-bound")
 	b.ReportMetric(float64(stats.Chunks), "chunks")
 	b.ReportMetric(float64(stats.Workers), "workers")
+}
+
+// BenchmarkExhaustiveSearch16KBPruned pins the branch-and-bound path
+// explicitly (the default path falls back to full enumeration only for
+// custom objectives) and reports the evaluated/pruned/skipped breakdown, so
+// a bound going loose — pruning less while staying correct — shows up in the
+// bench log as a bound-eff drop, not just latency drift.
+func BenchmarkExhaustiveSearch16KBPruned(b *testing.B) {
+	fw := benchFramework(b)
+	opts := core.Options{CapacityBits: 16 * 1024 * 8, Flavor: device.HVT, Method: core.M2}
+	var stats SearchStats
+	for i := 0; i < b.N; i++ {
+		opt, err := fw.Core().Optimize(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = opt.Stats
+	}
+	b.ReportMetric(float64(stats.Evaluated+stats.SkippedRSNM+stats.PrunedBound), "space-points")
+	b.ReportMetric(float64(stats.Evaluated), "model-evals")
+	b.ReportMetric(float64(stats.PrunedBound), "pruned-bound")
+	b.ReportMetric(float64(stats.SkippedTotal()), "skipped")
+	b.ReportMetric(stats.BoundEfficiency(), "bound-eff")
 }
 
 // BenchmarkAblationGreedyVsExhaustive compares the greedy coordinate-descent

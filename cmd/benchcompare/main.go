@@ -1,7 +1,13 @@
 // Command benchcompare guards against performance regressions: it compares
-// the ns/op of named benchmarks between two benchmark logs and exits
-// non-zero when the current run is slower than the baseline by more than the
-// allowed fraction, or when a required benchmark is missing from either log.
+// named benchmarks between two benchmark logs and exits non-zero when the
+// current run is slower than the baseline by more than the allowed fraction,
+// or when a required benchmark is missing from either log.
+//
+// Benchmarks that report the searchers' "space-points" metric (the candidate
+// space covered, including bound-pruned points) in both logs are compared on
+// ns per candidate point instead of raw ns/op, so a branch-and-bound change
+// that alters how much of the space is evaluated is judged by its effect on
+// total cost per unit of search, not misread as a benchmark-shape change.
 //
 // Both `go test -json` logs (the BENCH_<date>.json archives written by
 // `make bench`) and plain `go test -bench` text output are accepted.
@@ -37,13 +43,37 @@ type testEvent struct {
 
 // benchLine matches one benchmark result in reassembled text output, e.g.
 // "BenchmarkModelEvaluation-8   643032   1754 ns/op   560 B/op". The -N
-// GOMAXPROCS suffix is stripped so logs from different machines compare.
-var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9]+(?:\.[0-9]+)?) ns/op`)
+// GOMAXPROCS suffix is stripped so logs from different machines compare; the
+// tail of the line is kept so custom metrics can be read out of it.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9]+(?:\.[0-9]+)?) ns/op(.*)$`)
 
-// parseLog extracts Benchmark name → ns/op from a benchmark log in either
+// spacePointsMetric matches the searchers' custom "space-points" metric: the
+// size of the candidate space the run covered (evaluated + pruned +
+// stability-skipped). When both logs report it, benchmarks are compared on
+// ns per candidate point, so a change in how much of the space is pruned —
+// or in the space itself — is not misread as a latency regression.
+var spacePointsMetric = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?) space-points`)
+
+// benchResult is one parsed benchmark line: raw ns/op plus the optional
+// space-points normalizer (0 when the benchmark does not report it).
+type benchResult struct {
+	ns     float64
+	points float64
+}
+
+// normalized returns the comparable metric — ns/point when the benchmark
+// reports its space size, raw ns/op otherwise — and the unit it is in.
+func (r benchResult) normalized(usePoints bool) float64 {
+	if usePoints && r.points > 0 {
+		return r.ns / r.points
+	}
+	return r.ns
+}
+
+// parseLog extracts Benchmark name → result from a benchmark log in either
 // format. Later results for a repeated name win (matching -count behavior of
 // eyeballing the last run).
-func parseLog(path string) (map[string]float64, error) {
+func parseLog(path string) (map[string]benchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -79,14 +109,20 @@ func parseLog(path string) (map[string]float64, error) {
 		return nil, fmt.Errorf("reading %s: %w", path, err)
 	}
 
-	results := make(map[string]float64)
+	results := make(map[string]benchResult)
 	scan := func(text string) {
 		for _, m := range benchLine.FindAllStringSubmatch(text, -1) {
 			ns, err := strconv.ParseFloat(m[2], 64)
 			if err != nil {
 				continue
 			}
-			results[m[1]] = ns
+			r := benchResult{ns: ns}
+			if pm := spacePointsMetric.FindStringSubmatch(m[3]); pm != nil {
+				if p, err := strconv.ParseFloat(pm[1], 64); err == nil {
+					r.points = p
+				}
+			}
+			results[m[1]] = r
 		}
 	}
 	for _, pkg := range order {
@@ -142,7 +178,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	fmt.Printf("%-40s %14s %14s %9s %10s\n", "benchmark", "baseline", "current", "delta", "unit")
 	failed := false
 	for _, name := range names {
 		b, okB := base[name]
@@ -158,13 +194,21 @@ func main() {
 			}
 			continue
 		}
-		delta := (c - b) / b
+		// Normalize only when both runs report their space size; a log from
+		// before the metric existed still compares on raw ns/op.
+		usePoints := b.points > 0 && c.points > 0
+		unit := "ns/op"
+		if usePoints {
+			unit = "ns/point"
+		}
+		bv, cv := b.normalized(usePoints), c.normalized(usePoints)
+		delta := (cv - bv) / bv
 		mark := ""
 		if delta > *maxRegress {
 			mark = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-40s %14.1f %14.1f %8.1f%%%s\n", name, b, c, delta*100, mark)
+		fmt.Printf("%-40s %14.2f %14.2f %8.1f%% %10s%s\n", name, bv, cv, delta*100, unit, mark)
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.0f%% (or missing benchmark) vs %s\n",

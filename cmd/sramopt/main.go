@@ -46,6 +46,10 @@ type jsonReport struct {
 	Margins       jsonMargins      `json:"margins"`
 	Result        *array.Result    `json:"result"`
 	Stats         core.SearchStats `json:"search_stats"`
+	// BoundEff is the branch-and-bound prune fraction,
+	// PrunedBound / (Evaluated + PrunedBound) — how much of the candidate
+	// space the lower bound removed without evaluation.
+	BoundEff float64 `json:"bound_efficiency"`
 }
 
 // jsonMargins records the noise margins of the chosen operating point
@@ -195,8 +199,9 @@ func buildJSONReport(fw *core.Framework, mode core.Mode, capacityBytes int, flav
 			VDDCStar:   cc.VDDCStar,
 			VWLStar:    cc.VWLStar,
 		},
-		Result: r,
-		Stats:  opt.Stats,
+		Result:   r,
+		Stats:    opt.Stats,
+		BoundEff: opt.Stats.BoundEfficiency(),
 	}
 }
 

@@ -23,7 +23,7 @@ func paperIRead(vddc, vssc float64) float64 {
 	return 9.5e-5 * math.Pow(vddc-vssc-0.335, 1.3)
 }
 
-func testTech(t *testing.T) *Tech {
+func testTech(t testing.TB) *Tech {
 	t.Helper()
 	fixOnce.Do(func() {
 		p, err := periph.Characterize(device.Default7nm(), periph.CharacterizeOpts{})

@@ -1,0 +1,66 @@
+package array
+
+import (
+	"testing"
+
+	"sramco/internal/wire"
+)
+
+func benchEvaluator(b *testing.B) *Evaluator {
+	b.Helper()
+	ev, err := NewEvaluator(testTech(b), Activity{Alpha: 0.5, Beta: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wire.Geometry{NR: 256, NC: 512, W: 64, Npre: 1, Nwr: 1}
+	if err := ev.Prepare(g, 0.55, -0.1, 0.55); err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// BenchmarkEvalBlock measures the batched per-point cost of an 8-point block
+// (two N_pre rows of four N_wr points each — the shape the issue targets),
+// reported per point for comparison with BenchmarkModelEvaluationPrepared.
+func BenchmarkEvalBlock(b *testing.B) {
+	ev := benchEvaluator(b)
+	npres := []int{7, 7, 7, 7, 8, 8, 8, 8}
+	nwrs := []int{1, 2, 3, 4, 1, 2, 3, 4}
+	out := make([]Result, len(npres))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvalBlock(npres, nwrs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(npres)), "ns/point")
+}
+
+// BenchmarkEvalSweep measures the struct-of-arrays row kernel on a full
+// 20-point N_wr row — the exact shape the branch-and-bound searcher runs.
+func BenchmarkEvalSweep(b *testing.B) {
+	ev := benchEvaluator(b)
+	var sweep SweepBlock
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.EvalSweep(1+i%50, 1, 20, &sweep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*20), "ns/point")
+}
+
+// BenchmarkBoundRect measures the per-rectangle cost of the lower bound the
+// searcher pays before deciding to prune or sweep.
+func BenchmarkBoundRect(b *testing.B) {
+	ev := benchEvaluator(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.BoundRect(1, 50, 1, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,10 +39,10 @@ type Evaluator struct {
 
 	// Prepared-chunk key: Prepare is memoized on the last (geometry base,
 	// rails) so repeated calls inside one chunk cost a few comparisons.
-	prepared               bool
-	nr, nc, w, segs        int
-	vddc, vssc, vwl        float64
-	geom                   wire.Geometry // base geometry stamped into results
+	prepared        bool
+	nr, nc, w, segs int
+	vddc, vssc, vwl float64
+	geom            wire.Geometry // base geometry stamped into results
 
 	// Chunk-invariant Table-2 components, ready to copy into each Result.
 	parts Breakdown
@@ -89,6 +89,16 @@ type Evaluator struct {
 
 	// §4 rail-settling feasibility (invariant: depends only on rails/WL).
 	settles bool
+
+	// Struct-of-arrays lanes of the N_wr-dependent per-point terms, filled
+	// lazily by ensureSoA (index i ↔ N_wr = i+1) and invalidated whenever
+	// Prepare switches chunks. EvalSweep's inner loop reads them instead of
+	// recomputing the column/write-buffer terms per point.
+	soaN     int
+	soaBL    []float64 // N_wr term of C_BL: fnwr·ΣCd (muxed: (2·fnwr)·ΣCd)
+	soaDCOL  []float64 // column-select delay component
+	soaECOL  []float64 // column-select energy component
+	soaIBLwr []float64 // write-buffer drain current coefBLwr·fnwr·I_TG
 }
 
 // NewEvaluator validates the technology and activity once and returns an
@@ -124,6 +134,8 @@ func (e *Evaluator) init(t *Tech, act Activity) {
 func (e *Evaluator) Clone() *Evaluator {
 	c := *e
 	c.prepared = false
+	c.soaN = 0
+	c.soaBL, c.soaDCOL, c.soaECOL, c.soaIBLwr = nil, nil, nil, nil
 	return &c
 }
 
@@ -256,6 +268,7 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 	e.settles = math.Max(b.DCVDD, b.DCVSS) <= wlHalf
 
 	e.parts = b
+	e.soaN = 0 // the SoA lanes belong to the previous chunk
 	e.nr, e.nc, e.w, e.segs = g.NR, g.NC, g.W, g.WLSegs
 	e.vddc, e.vssc, e.vwl = vddc, vssc, vwl
 	e.geom = g

@@ -1,0 +1,316 @@
+package array
+
+import (
+	"fmt"
+	"math"
+)
+
+// SweepBlock is the struct-of-arrays output of EvalSweep: entry i holds the
+// Eq. (2)-(5) totals of the point (npre, nwrLo+i). Keeping the three metric
+// lanes in separate dense slices lets the searcher scan a whole N_wr row
+// with no per-point Result traffic; slices are grown in place and reused
+// across calls.
+type SweepBlock struct {
+	DArray []float64
+	EArray []float64
+	EDP    []float64
+}
+
+// grow resizes the block to n entries, reusing capacity.
+func (s *SweepBlock) grow(n int) {
+	if cap(s.DArray) < n {
+		s.DArray = make([]float64, n)
+		s.EArray = make([]float64, n)
+		s.EDP = make([]float64, n)
+		return
+	}
+	s.DArray = s.DArray[:n]
+	s.EArray = s.EArray[:n]
+	s.EDP = s.EDP[:n]
+}
+
+// ensureSoA fills the chunk-invariant per-N_wr arrays up to n entries
+// (index i ↔ N_wr = i+1): the N_wr term of C_BL, the column-select
+// component, and the write-buffer drain current. They depend only on the
+// prepared chunk, so Prepare invalidates them and every row of the sweep
+// reuses them.
+func (e *Evaluator) ensureSoA(n int) {
+	if e.soaN >= n {
+		return
+	}
+	if cap(e.soaBL) < n {
+		e.soaBL = make([]float64, n)
+		e.soaDCOL = make([]float64, n)
+		e.soaECOL = make([]float64, n)
+		e.soaIBLwr = make([]float64, n)
+		e.soaN = 0
+	} else {
+		e.soaBL = e.soaBL[:n]
+		e.soaDCOL = e.soaDCOL[:n]
+		e.soaECOL = e.soaECOL[:n]
+		e.soaIBLwr = e.soaIBLwr[:n]
+	}
+	for i := e.soaN; i < n; i++ {
+		fnwr := float64(i + 1)
+		if e.muxed {
+			e.soaBL[i] = 2 * fnwr * e.sumCd
+			cCOL := e.colBase + e.colW*fnwr*e.sumCg
+			e.soaDCOL[i], e.soaECOL[i] = component(cCOL, e.vdd, e.vdd, e.iCol)
+		} else {
+			e.soaBL[i] = fnwr * e.sumCd
+			e.soaDCOL[i], e.soaECOL[i] = 0, 0
+		}
+		e.soaIBLwr[i] = coefBLwr * fnwr * e.iTG
+	}
+	e.soaN = n
+}
+
+// EvalSweep evaluates the full N_wr row nwrLo..nwrHi at a fixed npre into
+// out, bit-identical (==) to EvalInto's DArray/EArray/EDP at every point.
+// This is the branch-and-bound searcher's hot loop: the N_pre-independent
+// terms come from the cached struct-of-arrays lanes, the row-invariant
+// precharge terms are hoisted, and the inner loop indexes equal-length
+// slices so the compiler drops the bounds checks.
+func (e *Evaluator) EvalSweep(npre, nwrLo, nwrHi int, out *SweepBlock) error {
+	if !e.prepared {
+		return fmt.Errorf("array: Eval before a successful Prepare")
+	}
+	if npre < 1 {
+		return fmt.Errorf("wire: N_pre = %d must be ≥ 1", npre)
+	}
+	if nwrLo < 1 || nwrHi < nwrLo {
+		return fmt.Errorf("array: EvalSweep: invalid N_wr range [%d,%d]", nwrLo, nwrHi)
+	}
+	n := nwrHi - nwrLo + 1
+	e.ensureSoA(nwrHi)
+	out.grow(n)
+	mEvals.Add(int64(n))
+
+	// Row-invariant per-point terms (exact EvalInto expressions).
+	blBase := e.blFixed + float64(npre+1)*e.cdp
+	iPre := coefPRE * float64(npre) * e.ionP
+	// The non-muxed bitline adds one shared-precharger drain on top of the
+	// N_wr term; adding a literal zero in the muxed case keeps the loop
+	// branch-free without perturbing the value (cBL > 0).
+	extra := e.cdp
+	if e.muxed {
+		extra = 0
+	}
+	dvBLRd, deltaVS, vdd := e.dvBLRd, e.deltaVS, e.vdd
+	iRead := e.iRead
+	saD, wcD := e.parts.DSenseAmp, e.parts.DWriteCell
+	colDecE, colDrvE := e.parts.EColDec, e.parts.EColDrv
+	allCols := e.allCols
+
+	bl := e.soaBL[nwrLo-1 : nwrHi]
+	dcol := e.soaDCOL[nwrLo-1 : nwrHi]
+	ecol := e.soaECOL[nwrLo-1 : nwrHi]
+	iblw := e.soaIBLwr[nwrLo-1 : nwrHi]
+	od := out.DArray[:n]
+	oe := out.EArray[:n]
+	op := out.EDP[:n]
+	if len(bl) != n || len(dcol) != n || len(ecol) != n || len(iblw) != n {
+		return fmt.Errorf("array: EvalSweep: internal lane length mismatch")
+	}
+
+	for i := range od {
+		cBL := blBase + bl[i] + extra
+		dblr, eblr := component(cBL, dvBLRd, deltaVS, iRead)
+		dblw, eblw := component(cBL, vdd, vdd, iblw[i])
+		dpr, epr := component(cBL, vdd, deltaVS, iPre)
+		dpw, epw := component(cBL, vdd, vdd, iPre)
+
+		readRow := e.dReadRow + dblr
+		readCol := e.dColBase + dcol[i]
+		dRead := math.Max(readRow, readCol) + saD + dpr
+		writeCol := e.dColBase + dcol[i] + dblw
+		dWrite := math.Max(e.dWriteRow, writeCol) + wcD + dpw
+
+		preWrE := epw
+		if allCols {
+			preWrE = e.wMult*epw + e.acMinusW*epr
+		}
+		eRead := e.eReadBase + e.blRdMult*eblr +
+			colDecE + colDrvE + ecol[i] +
+			e.saE + e.preRdMult*epr +
+			e.railE
+		eWrite := e.eWriteBase + ecol[i] +
+			e.wrMult*eblw + e.wrCellE + preWrE
+
+		dArray := math.Max(dRead, dWrite)
+		eSw := e.beta*eRead + e.oneMinusBeta*eWrite
+		eLeak := e.leakCoef * dArray
+		eArray := e.alpha*eSw + eLeak
+		od[i] = dArray
+		oe[i] = eArray
+		op[i] = eArray * dArray
+	}
+	return nil
+}
+
+// EvalNext advances res from its current point (N_pre, N_wr) to
+// (N_pre, N_wr+1) in place: adjacent points of the inner N_wr sweep share
+// everything except the bitline/column capacitance and write-buffer drain
+// terms, so only those components and the Eq. (2)-(5) totals are
+// recomputed — the chunk-invariant Parts fields, the design rails and the
+// feasibility flag survive from the previous point untouched. res must have
+// been produced by EvalInto, EvalBlock or EvalNext on the same prepared
+// chunk. Bit-identical (==) to a fresh EvalInto of (N_pre, N_wr+1).
+func (e *Evaluator) EvalNext(res *Result) error {
+	if !e.prepared {
+		return fmt.Errorf("array: Eval before a successful Prepare")
+	}
+	d := &res.Design
+	if d.Geom.NR != e.nr || d.Geom.NC != e.nc || d.Geom.W != e.w || d.Geom.WLSegs != e.segs ||
+		d.VDDC != e.vddc || d.VSSC != e.vssc || d.VWL != e.vwl {
+		return fmt.Errorf("array: EvalNext on a Result from a different chunk")
+	}
+	npre, nwr := d.Geom.Npre, d.Geom.Nwr+1
+	if npre < 1 || nwr < 2 {
+		return fmt.Errorf("array: EvalNext on an unevaluated Result (N_pre=%d, N_wr=%d)", npre, nwr-1)
+	}
+	mEvals.Inc()
+	b := &res.Parts
+	fnwr := float64(nwr)
+
+	blBase := e.blFixed + float64(npre+1)*e.cdp
+	var cBL, cCOL float64
+	if e.muxed {
+		cBL = blBase + 2*fnwr*e.sumCd
+		cCOL = e.colBase + e.colW*fnwr*e.sumCg
+	} else {
+		cBL = blBase + fnwr*e.sumCd + e.cdp
+	}
+
+	b.DCOL, b.ECOL = component(cCOL, e.vdd, e.vdd, e.iCol)
+	b.DBLRead, b.EBLRead = component(cBL, e.dvBLRd, e.deltaVS, e.iRead)
+	b.DBLWrite, b.EBLWrite = component(cBL, e.vdd, e.vdd, coefBLwr*fnwr*e.iTG)
+	iPre := coefPRE * float64(npre) * e.ionP
+	b.DPreRead, b.EPreRead = component(cBL, e.vdd, e.deltaVS, iPre)
+	b.DPreWrite, b.EPreWrite = component(cBL, e.vdd, e.vdd, iPre)
+
+	readRow := e.dReadRow + b.DBLRead
+	readCol := e.dColBase + b.DCOL
+	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+	writeCol := e.dColBase + b.DCOL + b.DBLWrite
+	dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + b.DPreWrite
+
+	preWrE := b.EPreWrite
+	if e.allCols {
+		preWrE = e.wMult*b.EPreWrite + e.acMinusW*b.EPreRead
+	}
+	eRead := e.eReadBase + e.blRdMult*b.EBLRead +
+		b.EColDec + b.EColDrv + b.ECOL +
+		e.saE + e.preRdMult*b.EPreRead +
+		e.railE
+	eWrite := e.eWriteBase + b.ECOL +
+		e.wrMult*b.EBLWrite + e.wrCellE + preWrE
+
+	dArray := math.Max(dRead, dWrite)
+	eSw := e.beta*eRead + e.oneMinusBeta*eWrite
+	eLeak := e.leakCoef * dArray
+
+	d.Geom.Nwr = nwr
+	res.DRead, res.DWrite, res.DArray = dRead, dWrite, dArray
+	res.ESwRead, res.ESwWrite, res.ESw = eRead, eWrite, eSw
+	res.ELeak = eLeak
+	res.EArray = e.alpha*eSw + eLeak
+	res.EDP = res.EArray * dArray
+	return nil
+}
+
+// EvalBlock evaluates the batch of points (npres[i], nwrs[i]) into out[i],
+// bit-identical (==) to calling EvalInto per point. The per-call validation
+// and evaluation counting are amortized over the block, and the row terms
+// (precharge current, bitline base) are recomputed only when npres[i]
+// changes, so callers batching 4-8 points of one N_pre row pay them once.
+func (e *Evaluator) EvalBlock(npres, nwrs []int, out []Result) error {
+	if !e.prepared {
+		return fmt.Errorf("array: Eval before a successful Prepare")
+	}
+	if len(npres) != len(nwrs) || len(npres) > len(out) {
+		return fmt.Errorf("array: EvalBlock: mismatched block lengths (%d npre, %d nwr, %d out)",
+			len(npres), len(nwrs), len(out))
+	}
+	if len(npres) == 0 {
+		return nil
+	}
+	for _, np := range npres {
+		if np < 1 {
+			return fmt.Errorf("wire: N_pre = %d must be ≥ 1", np)
+		}
+	}
+	for _, nw := range nwrs {
+		if nw < 1 {
+			return fmt.Errorf("wire: N_wr = %d must be ≥ 1", nw)
+		}
+	}
+	mEvals.Add(int64(len(npres)))
+
+	g := e.geom
+	lastNpre := -1
+	var blBase, iPre float64
+	for i := range npres {
+		npre, nwr := npres[i], nwrs[i]
+		if npre != lastNpre {
+			blBase = e.blFixed + float64(npre+1)*e.cdp
+			iPre = coefPRE * float64(npre) * e.ionP
+			lastNpre = npre
+		}
+		b := e.parts
+		fnwr := float64(nwr)
+		var cBL, cCOL float64
+		if e.muxed {
+			cBL = blBase + 2*fnwr*e.sumCd
+			cCOL = e.colBase + e.colW*fnwr*e.sumCg
+		} else {
+			cBL = blBase + fnwr*e.sumCd + e.cdp
+		}
+
+		b.DCOL, b.ECOL = component(cCOL, e.vdd, e.vdd, e.iCol)
+		b.DBLRead, b.EBLRead = component(cBL, e.dvBLRd, e.deltaVS, e.iRead)
+		b.DBLWrite, b.EBLWrite = component(cBL, e.vdd, e.vdd, coefBLwr*fnwr*e.iTG)
+		b.DPreRead, b.EPreRead = component(cBL, e.vdd, e.deltaVS, iPre)
+		b.DPreWrite, b.EPreWrite = component(cBL, e.vdd, e.vdd, iPre)
+
+		readRow := e.dReadRow + b.DBLRead
+		readCol := e.dColBase + b.DCOL
+		dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+		writeCol := e.dColBase + b.DCOL + b.DBLWrite
+		dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + b.DPreWrite
+
+		preWrE := b.EPreWrite
+		if e.allCols {
+			preWrE = e.wMult*b.EPreWrite + e.acMinusW*b.EPreRead
+		}
+		eRead := e.eReadBase + e.blRdMult*b.EBLRead +
+			b.EColDec + b.EColDrv + b.ECOL +
+			e.saE + e.preRdMult*b.EPreRead +
+			e.railE
+		eWrite := e.eWriteBase + b.ECOL +
+			e.wrMult*b.EBLWrite + e.wrCellE + preWrE
+
+		dArray := math.Max(dRead, dWrite)
+		eSw := e.beta*eRead + e.oneMinusBeta*eWrite
+		eLeak := e.leakCoef * dArray
+		eArray := e.alpha*eSw + eLeak
+
+		g.Npre, g.Nwr = npre, nwr
+		out[i] = Result{
+			Design:            Design{Geom: g, VDDC: e.vddc, VSSC: e.vssc, VWL: e.vwl},
+			Activity:          e.act,
+			DRead:             dRead,
+			DWrite:            dWrite,
+			DArray:            dArray,
+			ESwRead:           eRead,
+			ESwWrite:          eWrite,
+			ESw:               eSw,
+			ELeak:             eLeak,
+			EArray:            eArray,
+			EDP:               eArray * dArray,
+			RailsSettleInTime: e.settles,
+			Parts:             b,
+		}
+	}
+	return nil
+}

@@ -28,8 +28,10 @@ import (
 )
 
 // Version is the on-disk format version; it participates in the magic so a
-// reader never misparses a future layout.
-const Version = 1
+// reader never misparses a future layout. Version 2: response bodies carry
+// the branch-and-bound search stats (PrunedBound), so version-1 catalogs
+// would no longer be bit-identical to live fills and must be rebuilt.
+const Version = 2
 
 // magic opens every catalog file: format name plus version byte.
 var magic = [8]byte{'S', 'R', 'A', 'M', 'C', 'A', 'T', Version}

@@ -1,0 +1,633 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sramco/internal/array"
+	"sramco/internal/obs"
+	"sramco/internal/wire"
+)
+
+// This file is the branch-and-bound fast path of the exhaustive searchers.
+//
+// The search space factors into (chunk × segmentation) units, each an
+// (N_pre, N_wr) rectangle sharing one Prepare. A cheap certified lower bound
+// (array.BoundRect) over a unit — or a single N_pre row of it — lets the
+// searcher skip the rectangle wholesale when even the bound cannot beat the
+// incumbent, charging the skipped points to SearchStats.PrunedBound.
+//
+// Determinism: SearchStats documents that every count is bit-identical for a
+// given Options regardless of GOMAXPROCS, and the serving layer's catalog
+// relies on byte-identical response bodies. Pruning against a racy
+// cross-worker incumbent would make Evaluated/PrunedBound depend on
+// scheduling, so pruning thresholds are derived only from
+// schedule-independent state (DESIGN.md §11):
+//
+//  1. a bound pass prepares every unit and bounds its full rectangle;
+//  2. the unit with the best bound seeds the search: its chunk is swept
+//     first, alone, and its best objective freezes the global threshold T;
+//  3. the remaining chunks are sharded over workers, each pruning against
+//     min(T, chunk-local best) — both independent of which worker runs the
+//     chunk or in what order.
+//
+// The cross-worker atomic best-so-far (bestSoFar) is still published on
+// every improvement — observers (the run span, tests, a progress ticker)
+// watch the search converge through it — but no pruning decision reads it.
+
+// bnbMinRun is the N_wr range width below which the searcher sweeps the
+// points instead of bisecting further: a BoundRect costs about an eighth of
+// sweeping this many points, so bounding smaller ranges stops paying.
+const bnbMinRun = 4
+
+// atomicMin is a lock-free monotonically non-increasing float64 cell.
+// Publish lowers it via CAS, so concurrent publishers can never regress the
+// value; Load returns the current minimum.
+type atomicMin struct{ bits atomic.Uint64 }
+
+func newAtomicMin() *atomicMin {
+	m := &atomicMin{}
+	m.bits.Store(math.Float64bits(math.Inf(1)))
+	return m
+}
+
+// Publish lowers the cell to v if v improves on the current value.
+func (m *atomicMin) Publish(v float64) {
+	for {
+		old := m.bits.Load()
+		if !(v < math.Float64frombits(old)) {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Load returns the current minimum (+Inf before any Publish).
+func (m *atomicMin) Load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// searchUnit is one (chunk, segmentation) rectangle of the bounded search: a
+// prepared Evaluator plus the lower bound over its full (N_pre, N_wr) range.
+// Invalid base geometries keep ev == nil and are charged to SkippedGeom.
+type searchUnit struct {
+	segs  int
+	valid bool
+	ev    *array.Evaluator
+	bound array.Bound
+}
+
+// bnbSearch carries the shared state of one bounded search run.
+type bnbSearch struct {
+	opts      *Options
+	vddc, vwl float64
+	evProto   *array.Evaluator
+	chunks    []chunk
+	units     [][]searchUnit // aligned with chunks
+	kind      objKind
+	sctx      context.Context
+	cancel    context.CancelCauseFunc
+	bestSoFar *atomicMin
+}
+
+// objBound reads the lower bound matching the built-in objective.
+func (s *bnbSearch) objBound(b array.Bound) float64 {
+	switch s.kind {
+	case objDelay:
+		return b.DArray
+	case objEnergy:
+		return b.EArray
+	}
+	return b.EDP
+}
+
+// objLane returns the sweep lane matching the built-in objective.
+func (s *bnbSearch) objLane(sw *array.SweepBlock) []float64 {
+	switch s.kind {
+	case objDelay:
+		return sw.DArray
+	case objEnergy:
+		return sw.EArray
+	}
+	return sw.EDP
+}
+
+// boundPass prepares every (chunk, segmentation) unit and bounds its full
+// rectangle, striping chunks over workers. Unit construction is pure
+// per-chunk work, so the stripe assignment cannot affect the result.
+func (s *bnbSearch) boundPass(workers int) error {
+	s.units = make([][]searchUnit, len(s.chunks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < len(s.chunks); ci += workers {
+				if s.sctx.Err() != nil {
+					return
+				}
+				c := s.chunks[ci]
+				width := accessWidth(s.opts.W, c.rc.nc)
+				segsList := segCandidates(s.opts, c.rc.nc, width)
+				us := make([]searchUnit, 0, len(segsList))
+				for _, segs := range segsList {
+					base := wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width, Npre: 1, Nwr: 1, WLSegs: segs}
+					if base.Validate() != nil {
+						us = append(us, searchUnit{segs: segs})
+						continue
+					}
+					ev := s.evProto.Clone()
+					if err := ev.Prepare(base, s.vddc, c.vssc, s.vwl); err != nil {
+						s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+							c.rc.nr, c.rc.nc, 1, 1, c.vssc, err))
+						return
+					}
+					b, err := ev.BoundRect(1, s.opts.Space.NpreMax, 1, s.opts.Space.NwrMax)
+					if err != nil {
+						s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+							c.rc.nr, c.rc.nc, 1, 1, c.vssc, err))
+						return
+					}
+					us = append(us, searchUnit{segs: segs, valid: true, ev: ev, bound: b})
+				}
+				s.units[ci] = us
+			}
+		}(w)
+	}
+	wg.Wait()
+	return context.Cause(s.sctx)
+}
+
+// pickSeed returns the chunk containing the unit with the smallest objective
+// bound among rail-feasible units (ties: lowest chunk index, then unit
+// order) — the rectangle most likely to contain the global optimum, so the
+// threshold frozen after sweeping it prunes aggressively everywhere else.
+func (s *bnbSearch) pickSeed() (int, bool) {
+	best, ci := math.Inf(1), -1
+	for i, us := range s.units {
+		for _, u := range us {
+			if !u.valid || !u.bound.RailsSettleInTime {
+				continue
+			}
+			if b := s.objBound(u.bound); b < best {
+				best, ci = b, i
+			}
+		}
+	}
+	return ci, ci >= 0
+}
+
+// bnbWorker accumulates one worker's partial view of the bounded search.
+type bnbWorker struct {
+	best    *DesignPoint
+	obj     float64
+	stats   SearchStats
+	sweep   array.SweepBlock
+	scratch array.Result
+}
+
+// processChunk sweeps one chunk's units under the frozen threshold T,
+// accumulating evaluations, prunes and the worker-local best into slot. The
+// chunk is processed by exactly one goroutine, so the chunk-local incumbent
+// that refines T is deterministic. Returns false on cancellation or error.
+func (s *bnbSearch) processChunk(ci int, T float64, slot *bnbWorker) bool {
+	c := s.chunks[ci]
+	space := s.opts.Space
+	width := accessWidth(s.opts.W, c.rc.nc)
+	pts := space.NpreMax * space.NwrMax
+
+	chunkStart := time.Now()
+	sp := obs.StartSpanCtx(s.sctx, "core.search.chunk")
+	evals0 := slot.stats.Evaluated
+	pruned0 := slot.stats.PrunedBound
+	flushed := evals0
+	endChunk := func(completed bool) {
+		mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+		flushed = slot.stats.Evaluated
+		if completed {
+			mSearchChunks.Inc()
+			hChunkDur.Observe(time.Since(chunkStart))
+		}
+		sp.Int("nr", int64(c.rc.nr))
+		sp.Int("nc", int64(c.rc.nc))
+		sp.Float("vssc", c.vssc)
+		sp.Int("evaluated", int64(slot.stats.Evaluated-evals0))
+		sp.Int("pruned_bound", int64(slot.stats.PrunedBound-pruned0))
+		sp.End()
+	}
+
+	local := math.Inf(1) // chunk-local incumbent objective
+	for _, u := range s.units[ci] {
+		if s.sctx.Err() != nil {
+			endChunk(false)
+			return false
+		}
+		if !u.valid {
+			slot.stats.SkippedGeom += pts
+			continue
+		}
+		if !u.bound.RailsSettleInTime {
+			// Rail settling is chunk-invariant (§4): the whole rectangle is
+			// infeasible and pruned without evaluation. (The unpruned path
+			// evaluates these points and counts them under SkippedRails.)
+			slot.stats.PrunedBound += pts
+			continue
+		}
+		if s.objBound(u.bound) > math.Min(T, local) {
+			slot.stats.PrunedBound += pts
+			continue
+		}
+		for npre := 1; npre <= space.NpreMax; npre++ {
+			if s.sctx.Err() != nil {
+				endChunk(false)
+				return false
+			}
+			// Refine the row by bisection on the N_wr range. The bound's
+			// write-buffer current is taken at the range's high end, so its
+			// slack on a full row is ~NwrMax×; each halving tightens it 2×,
+			// and a BoundRect is ~an eighth of sweeping the points it can
+			// prune. Recursion is sequential within the chunk, so the counts
+			// and the incumbent updates stay deterministic.
+			var refine func(lo, hi int) bool
+			refine = func(lo, hi int) bool {
+				rb, err := u.ev.BoundRect(npre, npre, lo, hi)
+				if err != nil {
+					s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+						c.rc.nr, c.rc.nc, npre, lo, c.vssc, err))
+					return false
+				}
+				if s.objBound(rb) > math.Min(T, local) {
+					slot.stats.PrunedBound += hi - lo + 1
+					return true
+				}
+				if hi-lo+1 > bnbMinRun {
+					mid := (lo + hi) / 2
+					return refine(lo, mid) && refine(mid+1, hi)
+				}
+				if err := u.ev.EvalSweep(npre, lo, hi, &slot.sweep); err != nil {
+					s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+						c.rc.nr, c.rc.nc, npre, lo, c.vssc, err))
+					return false
+				}
+				slot.stats.Evaluated += hi - lo + 1
+				lane := s.objLane(&slot.sweep)[:hi-lo+1]
+				for i, v := range lane {
+					if v < local {
+						local = v
+					}
+					nwr := lo + i
+					win := slot.best == nil || v < slot.obj
+					if !win && v == slot.obj {
+						cand := array.Design{
+							Geom: wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width,
+								Npre: npre, Nwr: nwr, WLSegs: u.segs},
+							VDDC: s.vddc, VSSC: c.vssc, VWL: s.vwl,
+						}
+						win = designLess(cand, slot.best.Design)
+					}
+					if win {
+						// Materialize the winning point once; the sweep lanes
+						// are bit-identical to EvalInto, so the stored
+						// objective v matches the Result exactly.
+						if err := u.ev.EvalInto(npre, nwr, &slot.scratch); err != nil {
+							s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+								c.rc.nr, c.rc.nc, npre, nwr, c.vssc, err))
+							return false
+						}
+						rc := slot.scratch
+						slot.best, slot.obj = &DesignPoint{Design: rc.Design, Result: &rc}, v
+						s.bestSoFar.Publish(v)
+					}
+				}
+				return true
+			}
+			if !refine(1, space.NwrMax) {
+				endChunk(false)
+				return false
+			}
+			mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+			flushed = slot.stats.Evaluated
+		}
+	}
+	endChunk(true)
+	return true
+}
+
+// optimizeBounded is OptimizeContext's branch-and-bound path: bound pass →
+// seed sweep → frozen-threshold parallel sweep → deterministic reduction.
+// It owns the run from after the run-span setup through the final Optimum.
+func (f *Framework) optimizeBounded(runSpan obs.Span, start time.Time, opts *Options,
+	stats SearchStats, chunks []chunk, workers int,
+	evProto *array.Evaluator, vddc, vwl float64, ctx context.Context) (*Optimum, error) {
+
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	s := &bnbSearch{
+		opts: opts, vddc: vddc, vwl: vwl, evProto: evProto, chunks: chunks,
+		kind: objectiveKind(opts.Objective), sctx: sctx, cancel: cancel,
+		bestSoFar: newAtomicMin(),
+	}
+
+	finish := func(slots []bnbWorker) (SearchStats, *DesignPoint, float64) {
+		var best *DesignPoint
+		obj := math.Inf(1)
+		for i := range slots {
+			stats.addWorker(slots[i].stats)
+			if slots[i].best != nil && betterPoint(slots[i].best, slots[i].obj, best, obj) {
+				best, obj = slots[i].best, slots[i].obj
+			}
+		}
+		st := finishStats(stats, start, workers)
+		runSpan.Int("evaluated", int64(st.Evaluated))
+		runSpan.Int("pruned_bound", int64(st.PrunedBound))
+		runSpan.Float("bound_efficiency", st.BoundEfficiency())
+		runSpan.End()
+		return st, best, obj
+	}
+
+	slots := make([]bnbWorker, workers)
+	for i := range slots {
+		slots[i].obj = math.Inf(1)
+	}
+
+	if err := s.boundPass(workers); err != nil {
+		st, _, _ := finish(slots)
+		return nil, &SearchError{Stats: st, Cause: err}
+	}
+
+	// Seed: sweep the most promising chunk alone and freeze the global
+	// pruning threshold at its best objective.
+	T := math.Inf(1)
+	seedCi := -1
+	if ci, ok := s.pickSeed(); ok {
+		seedCi = ci
+		if !s.processChunk(ci, T, &slots[0]) {
+			st, _, _ := finish(slots)
+			return nil, &SearchError{Stats: st, Cause: context.Cause(sctx)}
+		}
+		T = slots[0].obj
+	}
+
+	jobs := make(chan int, len(chunks))
+	for ci := range chunks {
+		if ci != seedCi {
+			jobs <- ci
+		}
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot *bnbWorker) {
+			defer wg.Done()
+			for ci := range jobs {
+				if !s.processChunk(ci, T, slot) {
+					return
+				}
+			}
+		}(&slots[w])
+	}
+	wg.Wait()
+
+	st, best, _ := finish(slots)
+	if cause := context.Cause(sctx); cause != nil {
+		return nil, &SearchError{Stats: st, Cause: cause}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: %w for %d bits (all %d candidates rejected)",
+			ErrInfeasible, opts.CapacityBits, st.SkippedTotal()+st.PrunedBound)
+	}
+	return &Optimum{Best: *best, Evaluated: st.Evaluated, Skipped: st.SkippedTotal(), Stats: st}, nil
+}
+
+// frontDominatesRect reports whether a front member proves every point of a
+// rectangle with metric lower bounds (bD, bE) redundant: some q is ≤ the
+// bound in both metrics and strictly below in at least one. Strictness in
+// one coordinate protects exact metric ties, whose canonical replacement in
+// insertPareto must still see the candidate.
+func frontDominatesRect(front []DesignPoint, bD, bE float64) bool {
+	for _, q := range front {
+		qd, qe := q.Result.DArray, q.Result.EArray
+		if (qd <= bD && qe < bE) || (qd < bD && qe <= bE) {
+			return true
+		}
+	}
+	return false
+}
+
+// paretoWouldChange mirrors insertPareto's decision for a point with metrics
+// (d, e) and design cand without materializing its Result: false when an
+// existing member weakly dominates it (and an exact tie would keep the
+// canonical incumbent), true when inserting would alter the front.
+func paretoWouldChange(front []DesignPoint, d, e float64, cand array.Design) bool {
+	for _, q := range front {
+		qd, qe := q.Result.DArray, q.Result.EArray
+		if qd == d && qe == e {
+			return designLess(cand, q.Design)
+		}
+		if qd <= d && qe <= e {
+			return false
+		}
+	}
+	return true
+}
+
+// bnbParetoWorker accumulates one worker's partial frontier.
+type bnbParetoWorker struct {
+	front   []DesignPoint
+	stats   SearchStats
+	sweep   array.SweepBlock
+	scratch array.Result
+}
+
+// processParetoChunk sweeps one chunk for the Pareto search, pruning
+// rectangles that the frozen seed front f0 proves redundant. Per-point
+// insertion decisions consult the worker-local front only to avoid
+// materializing dominated Results — they never affect the counts, so stats
+// stay schedule-independent.
+func (s *bnbSearch) processParetoChunk(ci int, f0 []DesignPoint, slot *bnbParetoWorker) bool {
+	c := s.chunks[ci]
+	space := s.opts.Space
+	width := accessWidth(s.opts.W, c.rc.nc)
+	pts := space.NpreMax * space.NwrMax
+
+	chunkStart := time.Now()
+	sp := obs.StartSpanCtx(s.sctx, "core.search.chunk")
+	evals0 := slot.stats.Evaluated
+	pruned0 := slot.stats.PrunedBound
+	flushed := evals0
+	endChunk := func(completed bool) {
+		mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+		flushed = slot.stats.Evaluated
+		if completed {
+			mSearchChunks.Inc()
+			hChunkDur.Observe(time.Since(chunkStart))
+		}
+		sp.Int("nr", int64(c.rc.nr))
+		sp.Int("nc", int64(c.rc.nc))
+		sp.Float("vssc", c.vssc)
+		sp.Int("evaluated", int64(slot.stats.Evaluated-evals0))
+		sp.Int("pruned_bound", int64(slot.stats.PrunedBound-pruned0))
+		sp.End()
+	}
+
+	for _, u := range s.units[ci] {
+		if s.sctx.Err() != nil {
+			endChunk(false)
+			return false
+		}
+		if !u.valid {
+			slot.stats.SkippedGeom += pts
+			continue
+		}
+		if !u.bound.RailsSettleInTime {
+			slot.stats.PrunedBound += pts
+			continue
+		}
+		if frontDominatesRect(f0, u.bound.DArray, u.bound.EArray) {
+			slot.stats.PrunedBound += pts
+			continue
+		}
+		for npre := 1; npre <= space.NpreMax; npre++ {
+			if s.sctx.Err() != nil {
+				endChunk(false)
+				return false
+			}
+			// Same N_wr bisection as the scalar searcher: halving the range
+			// tightens the bound's write-buffer-current slack 2× per level.
+			var refine func(lo, hi int) bool
+			refine = func(lo, hi int) bool {
+				rb, err := u.ev.BoundRect(npre, npre, lo, hi)
+				if err != nil {
+					s.cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+						c.rc.nr, npre, lo, c.vssc, err))
+					return false
+				}
+				if frontDominatesRect(f0, rb.DArray, rb.EArray) {
+					slot.stats.PrunedBound += hi - lo + 1
+					return true
+				}
+				if hi-lo+1 > bnbMinRun {
+					mid := (lo + hi) / 2
+					return refine(lo, mid) && refine(mid+1, hi)
+				}
+				if err := u.ev.EvalSweep(npre, lo, hi, &slot.sweep); err != nil {
+					s.cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+						c.rc.nr, npre, lo, c.vssc, err))
+					return false
+				}
+				slot.stats.Evaluated += hi - lo + 1
+				for i := 0; i < hi-lo+1; i++ {
+					d, e := slot.sweep.DArray[i], slot.sweep.EArray[i]
+					nwr := lo + i
+					cand := array.Design{
+						Geom: wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width,
+							Npre: npre, Nwr: nwr, WLSegs: u.segs},
+						VDDC: s.vddc, VSSC: c.vssc, VWL: s.vwl,
+					}
+					if !paretoWouldChange(slot.front, d, e, cand) {
+						continue
+					}
+					if err := u.ev.EvalInto(npre, nwr, &slot.scratch); err != nil {
+						s.cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+							c.rc.nr, npre, nwr, c.vssc, err))
+						return false
+					}
+					rc := slot.scratch
+					slot.front = insertPareto(slot.front, DesignPoint{Design: rc.Design, Result: &rc})
+				}
+				return true
+			}
+			if !refine(1, space.NwrMax) {
+				endChunk(false)
+				return false
+			}
+			mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+			flushed = slot.stats.Evaluated
+		}
+	}
+	endChunk(true)
+	return true
+}
+
+// paretoBounded is ParetoSearchContext's branch-and-bound path. The seed
+// chunk is swept in full and its frontier frozen as f0; the remaining
+// chunks prune any rectangle some f0 member dominates. A pruned rectangle
+// can only contain points that were globally dominated anyway (domination is
+// transitive through the bound), so the merged frontier is bit-identical to
+// the full enumeration's.
+func (f *Framework) paretoBounded(runSpan obs.Span, start time.Time, opts *Options,
+	stats SearchStats, chunks []chunk, workers int,
+	evProto *array.Evaluator, vddc, vwl float64, ctx context.Context) (*ParetoResult, error) {
+
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	s := &bnbSearch{
+		opts: opts, vddc: vddc, vwl: vwl, evProto: evProto, chunks: chunks,
+		kind: objEDP, sctx: sctx, cancel: cancel, bestSoFar: newAtomicMin(),
+	}
+
+	slots := make([]bnbParetoWorker, workers)
+	finish := func() SearchStats {
+		for i := range slots {
+			stats.addWorker(slots[i].stats)
+		}
+		st := finishStats(stats, start, workers)
+		runSpan.Int("evaluated", int64(st.Evaluated))
+		runSpan.Int("pruned_bound", int64(st.PrunedBound))
+		runSpan.Float("bound_efficiency", st.BoundEfficiency())
+		runSpan.End()
+		return st
+	}
+
+	if err := s.boundPass(workers); err != nil {
+		return nil, &SearchError{Stats: finish(), Cause: err}
+	}
+
+	var f0 []DesignPoint
+	seedCi := -1
+	if ci, ok := s.pickSeed(); ok {
+		seedCi = ci
+		if !s.processParetoChunk(ci, nil, &slots[0]) {
+			return nil, &SearchError{Stats: finish(), Cause: context.Cause(sctx)}
+		}
+		// Freeze a copy: insertPareto mutates fronts in place, and the seed
+		// slot keeps accumulating in phase 2.
+		f0 = append([]DesignPoint(nil), slots[0].front...)
+	}
+
+	jobs := make(chan int, len(chunks))
+	for ci := range chunks {
+		if ci != seedCi {
+			jobs <- ci
+		}
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(slot *bnbParetoWorker) {
+			defer wg.Done()
+			for ci := range jobs {
+				if !s.processParetoChunk(ci, f0, slot) {
+					return
+				}
+			}
+		}(&slots[w])
+	}
+	wg.Wait()
+
+	st := finish()
+	if cause := context.Cause(sctx); cause != nil {
+		return nil, &SearchError{Stats: st, Cause: cause}
+	}
+	var candidates []DesignPoint
+	for i := range slots {
+		candidates = append(candidates, slots[i].front...)
+	}
+	return mergePareto(candidates, st, opts.CapacityBits)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 	"time"
 
@@ -88,6 +89,31 @@ func ObjectiveByName(name string) (Objective, bool) {
 	return nil, false
 }
 
+// objKind identifies which built-in metric an Objective minimizes, so the
+// branch-and-bound searcher can read the matching lower bound off an
+// array.Bound. Custom objective functions are opaque — no bound is known —
+// and map to objCustom, which disables pruning.
+type objKind int
+
+const (
+	objCustom objKind = iota
+	objEDP
+	objDelay
+	objEnergy
+)
+
+func objectiveKind(o Objective) objKind {
+	switch reflect.ValueOf(o).Pointer() {
+	case reflect.ValueOf(ObjectiveEDP).Pointer():
+		return objEDP
+	case reflect.ValueOf(ObjectiveDelay).Pointer():
+		return objDelay
+	case reflect.ValueOf(ObjectiveEnergy).Pointer():
+		return objEnergy
+	}
+	return objCustom
+}
+
 // Options configures one optimization run.
 type Options struct {
 	CapacityBits int
@@ -105,6 +131,15 @@ type Options struct {
 	// accounting, where segmentation cuts the per-access bitline disturb.
 	// Both the exhaustive and the greedy searcher honor it.
 	SearchWLSegs bool
+
+	// DisableBounds turns off the branch-and-bound rectangle pruning of the
+	// exhaustive searchers, forcing a full enumeration of the candidate
+	// space. The optimum, Pareto front and infeasibility outcomes are
+	// bit-identical either way (the parity tests enforce it) — only
+	// SearchStats.Evaluated/PrunedBound and the wall time change. Pruning is
+	// also disabled automatically for custom Objective functions (no lower
+	// bound is known for them) and when an evalHook is injected.
+	DisableBounds bool
 
 	// evalHook replaces array.Evaluate in tests (error injection,
 	// search-space tracing). nil selects the real model.

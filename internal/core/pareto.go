@@ -125,6 +125,14 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 	runSpan.Int("chunks", int64(len(chunks)))
 	runSpan.Int("workers", int64(workers))
 
+	// Branch-and-bound fast path: a rectangle some frozen-front member
+	// dominates in both metrics cannot contribute to the frontier, so it is
+	// pruned without evaluation; the merged front is bit-identical to the
+	// full enumeration's (DESIGN.md §11).
+	if eval == nil && !opts.DisableBounds {
+		return f.paretoBounded(runSpan, start, &opts, stats, chunks, workers, evProto, vddc, vwl, ctx)
+	}
+
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	jobs := make(chan chunk, len(chunks))
@@ -247,14 +255,19 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 		return nil, &SearchError{Stats: stats, Cause: cause}
 	}
 
-	// Deterministic merge: a globally non-dominated point survives every
-	// worker-local reduction, so the union of local fronts contains the
-	// global frontier regardless of how chunks were distributed. Inserting
-	// the union in canonical design order makes metric ties order-free too.
 	var candidates []DesignPoint
 	for i := range slots {
 		candidates = append(candidates, slots[i].front...)
 	}
+	return mergePareto(candidates, stats, opts.CapacityBits)
+}
+
+// mergePareto reduces worker-local fronts to the global frontier. A globally
+// non-dominated point survives every worker-local reduction, so the union of
+// local fronts contains the global frontier regardless of how chunks were
+// distributed. Inserting the union in canonical design order makes metric
+// ties order-free too; the result is sorted by increasing delay.
+func mergePareto(candidates []DesignPoint, stats SearchStats, capacityBits int) (*ParetoResult, error) {
 	sort.Slice(candidates, func(i, j int) bool {
 		return designLess(candidates[i].Design, candidates[j].Design)
 	})
@@ -265,7 +278,7 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 	if len(merged) == 0 {
 		return nil, &SearchError{
 			Stats: stats,
-			Cause: fmt.Errorf("%w: empty Pareto front for %d bits", ErrInfeasible, opts.CapacityBits),
+			Cause: fmt.Errorf("%w: empty Pareto front for %d bits", ErrInfeasible, capacityBits),
 		}
 	}
 	sort.Slice(merged, func(i, j int) bool {

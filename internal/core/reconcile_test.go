@@ -82,17 +82,20 @@ func TestSkippedRSNMReconcilesWithValidatedSpace(t *testing.T) {
 	if valid != 12 {
 		t.Fatalf("validCombosPerLevel = %d, want 12", valid)
 	}
-	if got, want := st.Evaluated+st.SkippedRSNM, levels*valid; got != want {
-		t.Errorf("Evaluated (%d) + SkippedRSNM (%d) = %d, want levels×valid = %d",
-			st.Evaluated, st.SkippedRSNM, got, want)
+	if got, want := st.Evaluated+st.SkippedRSNM+st.PrunedBound, levels*valid; got != want {
+		t.Errorf("Evaluated (%d) + SkippedRSNM (%d) + PrunedBound (%d) = %d, want levels×valid = %d",
+			st.Evaluated, st.SkippedRSNM, st.PrunedBound, got, want)
 	}
 	if want := st.PrunedVSSC * valid; st.SkippedRSNM != want {
 		t.Errorf("SkippedRSNM = %d, want PrunedVSSC×valid = %d", st.SkippedRSNM, want)
 	}
-	// Feasible levels evaluate every validated combination (rails failures
-	// are evaluated points), so Evaluated is exactly (levels−pruned)×valid.
-	if want := (levels - st.PrunedVSSC) * valid; st.Evaluated != want {
-		t.Errorf("Evaluated = %d, want %d", st.Evaluated, want)
+	// Feasible levels either evaluate a validated combination or prune it by
+	// bound (rails failures are evaluated points in the unpruned sweep and
+	// bound-pruned in the branch-and-bound one), so Evaluated + PrunedBound
+	// is exactly (levels−pruned)×valid.
+	if want := (levels - st.PrunedVSSC) * valid; st.Evaluated+st.PrunedBound != want {
+		t.Errorf("Evaluated (%d) + PrunedBound (%d) = %d, want %d",
+			st.Evaluated, st.PrunedBound, st.Evaluated+st.PrunedBound, want)
 	}
 	// Geometry skips: the 3 invalid organizations × NpreMax×NwrMax, charged
 	// only on the feasible (actually searched) levels.
@@ -219,24 +222,27 @@ func TestParetoStatsAndTraceReconcile(t *testing.T) {
 	if st.PrunedVSSC != 0 || st.SkippedRSNM != 0 {
 		t.Errorf("unexpected pruning: %+v", st)
 	}
-	if want := levels * validCombosPerLevel(&normOpts, rows); st.Evaluated != want {
-		t.Errorf("Evaluated = %d, want %d", st.Evaluated, want)
+	if want := levels * validCombosPerLevel(&normOpts, rows); st.Evaluated+st.PrunedBound != want {
+		t.Errorf("Evaluated (%d) + PrunedBound (%d) = %d, want %d",
+			st.Evaluated, st.PrunedBound, st.Evaluated+st.PrunedBound, want)
 	}
 	if st.Workers < 1 || st.Wall <= 0 {
 		t.Errorf("missing worker/wall accounting: %+v", st)
 	}
 
 	var chunkSpans int
-	var chunkSum, runTotal int64
+	var chunkSum, runTotal, prunedSum, runPruned int64
 	runSpans := 0
 	for _, ev := range col.Events() {
 		switch ev.Name {
 		case "core.search.chunk":
 			chunkSpans++
 			chunkSum += attrInt(t, ev, "evaluated")
+			prunedSum += attrInt(t, ev, "pruned_bound")
 		case "core.search.pareto":
 			runSpans++
 			runTotal = attrInt(t, ev, "evaluated")
+			runPruned = attrInt(t, ev, "pruned_bound")
 		}
 	}
 	if runSpans != 1 {
@@ -248,6 +254,10 @@ func TestParetoStatsAndTraceReconcile(t *testing.T) {
 	if chunkSum != int64(st.Evaluated) || runTotal != int64(st.Evaluated) {
 		t.Errorf("span evaluation counts (%d chunk / %d run) disagree with Stats.Evaluated %d",
 			chunkSum, runTotal, st.Evaluated)
+	}
+	if prunedSum != int64(st.PrunedBound) || runPruned != int64(st.PrunedBound) {
+		t.Errorf("span prune counts (%d chunk / %d run) disagree with Stats.PrunedBound %d",
+			prunedSum, runPruned, st.PrunedBound)
 	}
 	if got := reg.CounterValue("core.search.evaluated") - before; got != int64(st.Evaluated) {
 		t.Errorf("counter advanced by %d, Stats.Evaluated = %d", got, st.Evaluated)
@@ -297,7 +307,10 @@ func TestParetoHonorsSearchWLSegs(t *testing.T) {
 	}
 
 	// The hook-free fast path must agree with the hooked sweep exactly.
+	// Bounds stay disabled so both runs enumerate the full space and the
+	// evaluation counts — not just the frontiers — can be compared 1:1.
 	segOpts.evalHook = nil
+	segOpts.DisableBounds = true
 	fast, err := f.ParetoSearch(segOpts)
 	if err != nil {
 		t.Fatalf("fast segmented ParetoSearch: %v", err)

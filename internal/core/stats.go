@@ -21,6 +21,7 @@ type SearchStats struct {
 	SkippedGeom  int // points rejected by geometry validation (never evaluated)
 	SkippedRails int // evaluated points whose assist rails miss the access cycle
 	PrunedVSSC   int // VSSC sweep levels removed up front by the read-stability check
+	PrunedBound  int // points skipped by branch-and-bound: their rectangle's lower bound (or rail feasibility) proved they cannot win (never evaluated)
 
 	Chunks  int           // (row organization × VSSC) work units sharded across workers
 	Workers int           // goroutines the shards were distributed over
@@ -28,12 +29,27 @@ type SearchStats struct {
 }
 
 // SkippedTotal returns the total candidate points rejected without producing
-// a feasible evaluation.
+// a feasible evaluation. Branch-and-bound prunes are tracked separately in
+// PrunedBound: those points are not rejected by a constraint, they are
+// proven unable to beat the incumbent (the reconciliation invariant is
+// Evaluated + SkippedRSNM + PrunedBound == levels × validCombosPerLevel).
 func (s SearchStats) SkippedTotal() int { return s.SkippedRSNM + s.SkippedGeom + s.SkippedRails }
 
+// BoundEfficiency returns the fraction of the bounded candidate space the
+// branch-and-bound pass removed without evaluation:
+// PrunedBound / (Evaluated + PrunedBound). Zero when pruning was disabled or
+// nothing reached the bounded sweep.
+func (s SearchStats) BoundEfficiency() float64 {
+	if t := s.Evaluated + s.PrunedBound; t > 0 {
+		return float64(s.PrunedBound) / float64(t)
+	}
+	return 0
+}
+
 func (s SearchStats) String() string {
-	return fmt.Sprintf("%d evaluated, %d skipped (stability %d, geometry %d, rails %d), %d VSSC levels pruned, %d chunks on %d workers in %s",
-		s.Evaluated, s.SkippedTotal(), s.SkippedRSNM, s.SkippedGeom, s.SkippedRails,
+	return fmt.Sprintf("%d evaluated, %d bound-pruned (%.0f%%), %d skipped (stability %d, geometry %d, rails %d), %d VSSC levels pruned, %d chunks on %d workers in %s",
+		s.Evaluated, s.PrunedBound, 100*s.BoundEfficiency(),
+		s.SkippedTotal(), s.SkippedRSNM, s.SkippedGeom, s.SkippedRails,
 		s.PrunedVSSC, s.Chunks, s.Workers, s.Wall.Round(time.Microsecond))
 }
 
@@ -43,6 +59,7 @@ func (s *SearchStats) addWorker(o SearchStats) {
 	s.SkippedRSNM += o.SkippedRSNM
 	s.SkippedGeom += o.SkippedGeom
 	s.SkippedRails += o.SkippedRails
+	s.PrunedBound += o.PrunedBound
 }
 
 // SearchError is returned when a search aborts — a model-evaluation error or

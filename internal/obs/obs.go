@@ -125,7 +125,9 @@ func Enabled() bool { return globalSink.Load() != nil }
 
 // maxSpanAttrs is the fixed attribute capacity of a Span. Instrumentation
 // sites use at most this many annotations; the cap keeps Span stack-only.
-const maxSpanAttrs = 6
+// (The core.search run span is the widest user: capacity/method/chunks/
+// workers at start plus evaluated/pruned_bound/bound_efficiency at end.)
+const maxSpanAttrs = 8
 
 // Span is an in-flight trace span. The zero Span (returned when tracing is
 // disabled) is inert: all methods are cheap no-ops. Span is a value type —
