@@ -282,6 +282,22 @@ func BenchmarkMonteCarloYield(b *testing.B) {
 	b.ReportMetric(fail*100, "RSNM-fail-%")
 }
 
+// BenchmarkMonteCarloYieldBatched measures the per-sample cost of the
+// batched Monte Carlo hot path: full-sim HSNM characterization through the
+// reusable per-worker scratch netlists. The samples metric (draws per op)
+// lets benchcompare normalize to ns per sample, so a change in the
+// benchmark's N is not misread as a latency shift.
+func BenchmarkMonteCarloYieldBatched(b *testing.B) {
+	const n = 32
+	cfg := MCConfig{Flavor: HVT, N: n, Seed: 7, Metrics: 1 /* HSNM */}
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarloYield(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(n, "samples")
+}
+
 // BenchmarkAblationFinFreeze quantifies the value of the N_pre/N_wr fin
 // sizing freedom the paper adds to the search (DESIGN.md ablation list):
 // the same 4 KB HVT-M2 search with both fin counts frozen at 1. Reported

@@ -1,16 +1,16 @@
 // Command sramload is the closed-loop load harness for sramd: it drives a
-// configurable request mix (optimize / evaluate / pareto / batch) against a
-// running server — or an in-process one with -self — at either a fixed
-// concurrency or a target QPS, measures client-side latency per endpoint,
-// and writes a JSON report with p50/p90/p99/p999, throughput and error
-// counts. The ROADMAP's "millions of users" claim is measured with this
-// tool, not asserted.
+// configurable request mix (optimize / evaluate / pareto / batch / yield /
+// yieldstream) against a running server — or an in-process one with -self —
+// at either a fixed concurrency or a target QPS, measures client-side
+// latency per endpoint, and writes a JSON report with p50/p90/p99/p999,
+// throughput and error counts. The ROADMAP's "millions of users" claim is
+// measured with this tool, not asserted.
 //
 // Usage:
 //
 //	sramload [-url http://localhost:8347 | -self] [-c 8] [-qps 0]
 //	         [-duration 10s] [-warmup 1s] [-timeout 10s] [-seed 1]
-//	         [-mix optimize=6,evaluate=3,pareto=0,batch=1]
+//	         [-mix optimize=6,evaluate=3,pareto=0,batch=1,yield=1,yieldstream=0]
 //	         [-report report.json] [-check]
 //
 // With -qps 0 (the default) the harness is purely closed-loop: each of the
@@ -49,16 +49,20 @@ import (
 	"sramco/internal/serve"
 )
 
-// op names the four request kinds in the mix; opBatch exercises the NDJSON
-// streaming path with a small mixed batch body.
+// op names the request kinds in the mix; opBatch exercises the NDJSON
+// streaming path with a small mixed batch body, opYield the cached Monte
+// Carlo summary path, and opYieldStream the uncached NDJSON checkpoint
+// stream (every request runs its own engine — weight it accordingly).
 const (
-	opOptimize = "optimize"
-	opEvaluate = "evaluate"
-	opPareto   = "pareto"
-	opBatch    = "batch"
+	opOptimize    = "optimize"
+	opEvaluate    = "evaluate"
+	opPareto      = "pareto"
+	opBatch       = "batch"
+	opYield       = "yield"
+	opYieldStream = "yieldstream"
 )
 
-var opOrder = []string{opOptimize, opEvaluate, opPareto, opBatch}
+var opOrder = []string{opOptimize, opEvaluate, opPareto, opBatch, opYield, opYieldStream}
 
 // hLatency is the client-side obs histogram per op, mirroring the server's
 // per-endpoint series so a combined dump lines both sides up.
@@ -88,10 +92,12 @@ type loadConfig struct {
 // server's cache tiers (the production read path), varied enough that the
 // first pass through fills several distinct entries.
 type pools struct {
-	optimize []string
-	evaluate []string
-	pareto   []string
-	batch    []string
+	optimize    []string
+	evaluate    []string
+	pareto      []string
+	batch       []string
+	yield       []string
+	yieldStream []string
 }
 
 func buildPools() pools {
@@ -121,6 +127,17 @@ func buildPools() pools {
 	}
 	b.WriteString(`{"op":"optimize","capacity_bytes":128,"flavor":"hvt","method":"m2"}` + "\n")
 	p.batch = append(p.batch, b.String())
+	// Yield bodies stay tiny: the first request per body runs n simulated
+	// samples, repeats hit the cache. The streaming pool is smaller still —
+	// streams are never cached, so every request pays for its engine run.
+	for _, seed := range []int{1, 2} {
+		for _, metric := range []string{"hsnm", "wm"} {
+			p.yield = append(p.yield,
+				fmt.Sprintf(`{"flavor":"hvt","n":16,"seed":%d,"metrics":[%q]}`, seed, metric))
+		}
+	}
+	p.yieldStream = append(p.yieldStream,
+		`{"flavor":"hvt","n":64,"seed":3,"metrics":["hsnm"],"sampler":"sobol","rel_ci":0.2}`)
 	return p
 }
 
@@ -133,6 +150,10 @@ func (p pools) body(op string, rng *rand.Rand) string {
 		pool = p.evaluate
 	case opPareto:
 		pool = p.pareto
+	case opYield:
+		pool = p.yield
+	case opYieldStream:
+		pool = p.yieldStream
 	default:
 		pool = p.batch
 	}
@@ -140,8 +161,13 @@ func (p pools) body(op string, rng *rand.Rand) string {
 }
 
 func endpointPath(op string) string {
-	if op == opBatch {
+	switch op {
+	case opBatch:
 		return "/v1/batch"
+	case opYield:
+		return "/v1/yield"
+	case opYieldStream:
+		return "/v1/yield?stream=1"
 	}
 	return "/v1/" + op
 }
@@ -374,8 +400,8 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-// parseMix parses "optimize=6,evaluate=3,pareto=0,batch=1". Omitted ops get
-// weight zero; at least one weight must be positive.
+// parseMix parses "optimize=6,evaluate=3,pareto=0,batch=1,yield=1". Omitted
+// ops get weight zero; at least one weight must be positive.
 func parseMix(s string) (map[string]int, error) {
 	mix := map[string]int{}
 	for _, part := range strings.Split(s, ",") {
@@ -392,10 +418,10 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
 		}
 		switch k {
-		case opOptimize, opEvaluate, opPareto, opBatch:
+		case opOptimize, opEvaluate, opPareto, opBatch, opYield, opYieldStream:
 			mix[k] = w
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown op (want optimize, evaluate, pareto or batch)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown op (want optimize, evaluate, pareto, batch, yield or yieldstream)", part)
 		}
 	}
 	return mix, nil
@@ -435,7 +461,7 @@ func main() {
 	warmup := flag.Duration("warmup", 1*time.Second, "unrecorded warmup window before measurement")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
 	seed := flag.Int64("seed", 1, "request-mix random seed")
-	mixStr := flag.String("mix", "optimize=6,evaluate=3,pareto=0,batch=1", "request mix weights")
+	mixStr := flag.String("mix", "optimize=6,evaluate=3,pareto=0,batch=1,yield=1,yieldstream=0", "request mix weights")
 	reportPath := flag.String("report", "", "write the JSON report to `file` (default stdout)")
 	check := flag.Bool("check", false, "exit non-zero on zero throughput, transport errors or any 5xx")
 	obsFlags := cliutil.ObsFlags()

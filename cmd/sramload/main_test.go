@@ -9,11 +9,11 @@ import (
 )
 
 func TestParseMix(t *testing.T) {
-	mix, err := parseMix("optimize=6,evaluate=3,pareto=0,batch=1")
+	mix, err := parseMix("optimize=6,evaluate=3,pareto=0,batch=1,yield=2,yieldstream=1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]int{opOptimize: 6, opEvaluate: 3, opPareto: 0, opBatch: 1}
+	want := map[string]int{opOptimize: 6, opEvaluate: 3, opPareto: 0, opBatch: 1, opYield: 2, opYieldStream: 1}
 	for k, v := range want {
 		if mix[k] != v {
 			t.Errorf("mix[%s] = %d, want %d", k, mix[k], v)
@@ -27,6 +27,25 @@ func TestParseMix(t *testing.T) {
 	// Spaces and empty entries are tolerated.
 	if _, err := parseMix(" optimize=1 , ,evaluate=2"); err != nil {
 		t.Errorf("parseMix with spaces: %v", err)
+	}
+}
+
+// TestYieldOpsRouteToYieldEndpoint pins the new ops' paths and bodies: both
+// hit /v1/yield, the streaming op with the ?stream=1 query, with JSON bodies
+// drawn from non-empty pools.
+func TestYieldOpsRouteToYieldEndpoint(t *testing.T) {
+	if got := endpointPath(opYield); got != "/v1/yield" {
+		t.Errorf("endpointPath(yield) = %q", got)
+	}
+	if got := endpointPath(opYieldStream); got != "/v1/yield?stream=1" {
+		t.Errorf("endpointPath(yieldstream) = %q", got)
+	}
+	p := buildPools()
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range []string{opYield, opYieldStream} {
+		if body := p.body(op, rng); body == "" {
+			t.Errorf("empty body pool for %s", op)
+		}
 	}
 }
 

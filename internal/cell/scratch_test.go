@@ -1,0 +1,85 @@
+package cell
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sramco/internal/device"
+)
+
+// TestScratchMatchesNaive proves the reusable scratch path reproduces the
+// per-sample Cell methods: SNMs bit-identical, write margin within the trip
+// tolerance. Several variations run through ONE scratch back to back, so any
+// state leaking between samples would show up as a mismatch.
+func TestScratchMatchesNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-sim parity test")
+	}
+	base := New(device.HVT)
+	s, err := NewScratch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := device.Vdd
+	rb := NominalRead(vdd)
+	wb := NominalWrite(vdd)
+
+	rng := rand.New(rand.NewSource(5))
+	vars := []Variation{{}}
+	for k := 0; k < 2; k++ {
+		var v Variation
+		for i := range v {
+			v[i] = rng.NormFloat64() * 0.025
+		}
+		vars = append(vars, v)
+	}
+
+	for vi, dvt := range vars {
+		naive := &Cell{Lib: base.Lib, Flavor: base.Flavor, DVt: dvt}
+
+		h0, err0 := naive.HoldSNM(vdd)
+		h1, err1 := s.HoldSNM(dvt, vdd)
+		if err0 != nil || err1 != nil {
+			t.Fatalf("var %d hold: %v / %v", vi, err0, err1)
+		}
+		if h0 != h1 {
+			t.Errorf("var %d: HoldSNM naive %v != scratch %v", vi, h0, h1)
+		}
+
+		r0, err0 := naive.ReadSNM(rb)
+		r1, err1 := s.ReadSNM(dvt, rb)
+		if err0 != nil || err1 != nil {
+			t.Fatalf("var %d read: %v / %v", vi, err0, err1)
+		}
+		if r0 != r1 {
+			t.Errorf("var %d: ReadSNM naive %v != scratch %v", vi, r0, r1)
+		}
+
+		w0, err0 := naive.WriteMargin(wb)
+		w1, err1 := s.WriteMargin(dvt, wb)
+		if err0 != nil || err1 != nil {
+			t.Fatalf("var %d write: %v / %v", vi, err0, err1)
+		}
+		if math.Abs(w0-w1) > writeTripTolV {
+			t.Errorf("var %d: WriteMargin naive %v vs scratch %v (> %v apart)", vi, w0, w1, writeTripTolV)
+		}
+	}
+}
+
+// TestScratchWriteFail proves the scratch write path reports ErrWriteFail for
+// a cell that cannot flip, matching the naive semantics the Monte Carlo
+// engine's fail-fraction accounting depends on.
+func TestScratchWriteFail(t *testing.T) {
+	base := New(device.HVT)
+	s, err := NewScratch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wordline far below threshold cannot flip the cell.
+	wb := WriteBias{Vdd: device.Vdd, VWL: 0.05, VBL: 0}
+	if _, err := s.WriteMargin(Variation{}, wb); !errors.Is(err, ErrWriteFail) {
+		t.Fatalf("want ErrWriteFail, got %v", err)
+	}
+}

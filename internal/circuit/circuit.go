@@ -143,6 +143,19 @@ func (c *Circuit) SetV(name string, w Waveform) {
 	panic(fmt.Sprintf("circuit: SetV: no voltage source %q", name))
 }
 
+// SetFETDVt replaces the per-instance threshold shift of an existing FET,
+// allowing one netlist to be re-solved under different Monte Carlo
+// perturbations without rebuilding it.
+func (c *Circuit) SetFETDVt(name string, dvt float64) {
+	for _, f := range c.fets {
+		if f.Name == name {
+			f.DVt = dvt
+			return
+		}
+	}
+	panic(fmt.Sprintf("circuit: SetFETDVt: no FET %q", name))
+}
+
 type isource struct {
 	name string
 	a, b int // current flows from a through the source to b

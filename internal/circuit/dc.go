@@ -60,6 +60,10 @@ type assembler struct {
 	a   *num.Matrix
 	rhs []float64
 
+	lu   *num.LU   // reusable factorization storage
+	xn   []float64 // reusable Newton-solve output
+	fres []float64 // reusable KCL residual vector
+
 	halvings int64 // transient step halvings of this analysis (for tracing)
 }
 
@@ -70,7 +74,11 @@ func newAssembler(c *Circuit) *assembler {
 	for i, v := range c.vsrc {
 		v.br = nn - 1 + i
 	}
-	return &assembler{c: c, nn: nn, nv: nv, dim: dim, a: num.NewMatrix(dim, dim), rhs: make([]float64, dim)}
+	return &assembler{
+		c: c, nn: nn, nv: nv, dim: dim,
+		a: num.NewMatrix(dim, dim), rhs: make([]float64, dim),
+		lu: num.NewLU(dim), xn: make([]float64, dim), fres: make([]float64, nn-1),
+	}
 }
 
 // row maps a node index to its matrix row, or -1 for ground.
@@ -193,7 +201,10 @@ func nodeV(x []float64, n int) float64 {
 // node) at iterate x, excluding voltage-source branches, whose currents are
 // free variables that absorb their node residuals.
 func (as *assembler) residual(x []float64, t, srcScale float64, tc *tranCtx) float64 {
-	f := make([]float64, as.nn-1)
+	f := as.fres
+	for i := range f {
+		f[i] = 0
+	}
 	addI := func(n int, i float64) { // current i leaves node n
 		if r := row(n); r >= 0 {
 			f[r] += i
@@ -241,13 +252,13 @@ func (as *assembler) newtonDamped(x0 []float64, t, gmin, srcScale float64, tc *t
 	x := append([]float64(nil), x0...)
 	for it := 0; it < maxNewton; it++ {
 		as.assemble(x, t, gmin, srcScale, tc)
-		lu, err := num.Factor(as.a)
-		if err != nil {
+		if err := as.lu.Refactor(as.a); err != nil {
 			mNewtonIters.Add(int64(it) + 1)
 			mNewtonSingular.Inc()
 			return nil, fmt.Errorf("circuit: singular Jacobian at iteration %d: %w", it, err)
 		}
-		xn := lu.Solve(as.rhs)
+		as.lu.SolveInto(as.xn, as.rhs)
+		xn := as.xn
 		var maxDx float64
 		for i := 0; i < as.nn-1; i++ {
 			dx := xn[i] - x[i]

@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sramco/internal/obs"
+)
+
+// Sweeper is a reusable DC-sweep evaluator bound to one circuit, one swept
+// voltage source, and one observed node. It produces exactly the voltages
+// DCSweep would report for that node — same continuation, same robust-Newton
+// strategy, bit-identical numerics — but reuses the Newton workspace across
+// calls and never materializes per-point DCResult maps. The Monte Carlo
+// scratch path sweeps the same two VTC netlists tens of thousands of times;
+// this is its hot loop.
+type Sweeper struct {
+	c    *Circuit
+	src  *vsource
+	node int
+	as   *assembler
+	x    []float64 // continuation state, reused across calls
+}
+
+// NewSweeper binds a sweeper to the named voltage source and observed node.
+// The circuit's topology must not change afterwards (SetV, SetIC, and
+// SetFETDVt are fine; Add* are not).
+func (c *Circuit) NewSweeper(source, node string) (*Sweeper, error) {
+	var src *vsource
+	for _, v := range c.vsrc {
+		if v.name == source {
+			src = v
+			break
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("circuit: NewSweeper: no voltage source %q", source)
+	}
+	ni, ok := c.nodeIndex[node]
+	if !ok {
+		return nil, fmt.Errorf("circuit: NewSweeper: no node %q", node)
+	}
+	as := newAssembler(c)
+	return &Sweeper{c: c, src: src, node: ni, as: as, x: make([]float64, as.dim)}, nil
+}
+
+// Sweep solves the operating point at each source value with continuation and
+// stores the observed node's voltage in out[i]. out must have len(values).
+// The source's waveform is restored afterwards.
+func (s *Sweeper) Sweep(values []float64, out []float64) error {
+	if len(out) != len(values) {
+		return fmt.Errorf("circuit: Sweep: len(out)=%d, len(values)=%d", len(out), len(values))
+	}
+	orig := s.src.wave
+	defer func() { s.src.wave = orig }()
+
+	sp := obs.StartSpan("circuit.dc_sweep")
+	// Fresh initial guess per call: continuation state must not leak across
+	// Monte Carlo samples, or results would depend on evaluation order.
+	s.c.initialGuessInto(s.x, 0)
+	x := s.x
+	for i, val := range values {
+		s.src.wave = DC(val)
+		xn, err := s.as.solveRobust(x, 0, nil)
+		if err != nil {
+			mDCSweepPoints.Add(int64(i))
+			return fmt.Errorf("circuit: DCSweep %s=%g (point %d): %w", s.src.name, val, i, err)
+		}
+		copy(s.x, xn)
+		x = s.x
+		out[i] = nodeV(x, s.node)
+	}
+	mDCSweepPoints.Add(int64(len(values)))
+	sp.Str("source", s.src.name)
+	sp.Int("points", int64(len(values)))
+	sp.End()
+	return nil
+}
+
+// initialGuessInto is initialGuess without the allocation: it fills x
+// (len ≥ dim) instead of returning a fresh slice.
+func (c *Circuit) initialGuessInto(x []float64, t float64) {
+	for i := range x {
+		x[i] = 0
+	}
+	for _, v := range c.vsrc {
+		if v.b == 0 && v.a != 0 {
+			x[v.a-1] = v.wave.At(t)
+		}
+		if v.a == 0 && v.b != 0 {
+			x[v.b-1] = -v.wave.At(t)
+		}
+	}
+	for name, vv := range c.ic {
+		if i := c.nodeIndex[name]; i > 0 {
+			x[i-1] = vv
+		}
+	}
+}
+
+// TranRunner is a reusable transient evaluator bound to one circuit. It runs
+// the same backward-Euler stepping as Transient — same step control, same
+// counters — but records no waveforms: only the final state survives, which
+// is all the write-margin trip test needs. The Newton workspace is reused
+// across runs.
+type TranRunner struct {
+	c  *Circuit
+	as *assembler
+	x  []float64 // final state of the last Run
+	x0 []float64 // reusable initial state
+}
+
+// NewTranRunner binds a transient runner to the circuit. The circuit's
+// topology must not change afterwards.
+func (c *Circuit) NewTranRunner() *TranRunner {
+	as := newAssembler(c)
+	return &TranRunner{c: c, as: as, x: make([]float64, as.dim), x0: make([]float64, as.dim)}
+}
+
+// Run executes the transient analysis, keeping only the final state. Query it
+// with FinalV.
+func (tr *TranRunner) Run(opts TranOpts) error {
+	if opts.TStop <= 0 || opts.DT <= 0 {
+		return fmt.Errorf("circuit: Transient requires positive TStop and DT (got %g, %g)", opts.TStop, opts.DT)
+	}
+	start := time.Now()
+	sp := obs.StartSpan("circuit.transient")
+	mTranRuns.Inc()
+	as := tr.as
+	as.halvings = 0
+	tr.c.initialGuessInto(tr.x0, 0)
+	var x []float64
+	if opts.UIC {
+		copy(tr.x, tr.x0)
+		x = tr.x
+	} else {
+		xn, err := as.solveRobust(tr.x0, 0, nil)
+		if err != nil {
+			return fmt.Errorf("circuit: transient initial operating point: %w", err)
+		}
+		copy(tr.x, xn)
+		x = tr.x
+	}
+
+	t := 0.0
+	var steps int64
+	for t < opts.TStop-opts.DT*1e-9 {
+		dt := math.Min(opts.DT, opts.TStop-t)
+		xn, tn, err := tr.c.step(as, x, t, dt, 0)
+		if err != nil {
+			mTranFails.Inc()
+			hTranDur.Observe(time.Since(start))
+			return err
+		}
+		copy(tr.x, xn)
+		x, t = tr.x, tn
+		steps++
+	}
+	mTranSteps.Add(steps)
+	hTranDur.Observe(time.Since(start))
+	sp.Int("steps", steps)
+	sp.Int("halvings", as.halvings)
+	sp.End()
+	return nil
+}
+
+// FinalV returns the named node's voltage at the end of the last Run.
+func (tr *TranRunner) FinalV(node string) float64 {
+	i, ok := tr.c.nodeIndex[node]
+	if !ok {
+		panic(fmt.Sprintf("circuit: no node %q in transient result", node))
+	}
+	return nodeV(tr.x, i)
+}

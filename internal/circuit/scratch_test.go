@@ -1,0 +1,116 @@
+package circuit
+
+import (
+	"testing"
+
+	"sramco/internal/device"
+	"sramco/internal/num"
+)
+
+// scratchInverter builds the swept-input inverter used by the scratch-path
+// parity tests.
+func scratchInverter() *Circuit {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "IN", Ground, DC(0))
+	inverter(c, lib, device.LVT, "IN", "OUT", "VDD")
+	return c
+}
+
+// TestSweeperMatchesDCSweep proves the scratch sweep path is bit-identical to
+// DCSweep on the observed node, including after re-biasing and perturbing a
+// FET between calls.
+func TestSweeperMatchesDCSweep(t *testing.T) {
+	c := scratchInverter()
+	xs := num.Linspace(0, device.Vdd, 81)
+
+	sw, err := c.NewSweeper("vin", "OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(xs))
+
+	check := func(tag string) {
+		t.Helper()
+		ref, err := c.DCSweep("vin", xs)
+		if err != nil {
+			t.Fatalf("%s: DCSweep: %v", tag, err)
+		}
+		if err := sw.Sweep(xs, out); err != nil {
+			t.Fatalf("%s: Sweep: %v", tag, err)
+		}
+		for i := range xs {
+			if ref[i].V("OUT") != out[i] {
+				t.Fatalf("%s: point %d: DCSweep %v != Sweep %v", tag, i, ref[i].V("OUT"), out[i])
+			}
+		}
+	}
+
+	check("nominal")
+	// Same sweeper, perturbed device: SetFETDVt must flow into the reused
+	// workspace exactly as it does into a fresh assembler.
+	c.SetFETDVt("mn_OUT", 0.03)
+	check("dvt")
+	// And after re-biasing the rail.
+	c.SetV("vdd", DC(0.9*device.Vdd))
+	check("rebias")
+}
+
+func TestSweeperErrors(t *testing.T) {
+	c := scratchInverter()
+	if _, err := c.NewSweeper("nope", "OUT"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := c.NewSweeper("vin", "NOPE"); err == nil {
+		t.Error("unknown node accepted")
+	}
+	sw, _ := c.NewSweeper("vin", "OUT")
+	if err := sw.Sweep([]float64{0, 1}, make([]float64, 1)); err == nil {
+		t.Error("mismatched out length accepted")
+	}
+}
+
+// TestTranRunnerMatchesTransient proves the recording-free transient path
+// lands on the same final state as Transient, run twice to catch workspace
+// leakage across runs.
+func TestTranRunnerMatchesTransient(t *testing.T) {
+	lib := device.Default7nm()
+	c := New()
+	c.AddV("vdd", "VDD", Ground, DC(device.Vdd))
+	c.AddV("vin", "IN", Ground, Step(0, device.Vdd, 20e-12, 10e-12))
+	inverter(c, lib, device.LVT, "IN", "OUT", "VDD")
+	c.AddC("cl", "OUT", Ground, 0.1e-15)
+	c.SetIC("OUT", device.Vdd)
+
+	opts := TranOpts{TStop: 100e-12, DT: 1e-12, UIC: true}
+	ref, err := c.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := c.NewTranRunner()
+	for run := 0; run < 2; run++ {
+		if err := tr.Run(opts); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if got, want := tr.FinalV("OUT"), ref.Final("OUT"); got != want {
+			t.Fatalf("run %d: FinalV %v != Transient final %v", run, got, want)
+		}
+	}
+}
+
+func BenchmarkSweeperVTC(b *testing.B) {
+	c := scratchInverter()
+	sw, err := c.NewSweeper("vin", "OUT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := num.Linspace(0, device.Vdd, 181)
+	out := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sw.Sweep(xs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,10 +3,19 @@
 // (§2, §4) to justify the noise-margin constraint δ = 0.35·Vdd and the
 // μ−kσ yield formulation.
 //
-// Each sample draws an independent Gaussian ΔVt for each of the six cell
-// transistors (random dopant/work-function fluctuation of a single fin) and
-// re-characterizes the margins with the circuit simulator. Sampling is
-// deterministic for a given seed, independent of parallel scheduling.
+// Each sample draws a ΔVt for each of the six cell transistors (random
+// dopant/work-function fluctuation of a single fin) and re-characterizes the
+// margins with the circuit simulator through a per-worker scratch path that
+// reuses netlists and Newton workspaces across samples. Draws come from
+// plain Monte Carlo, scrambled Sobol', or Latin-hypercube sequences
+// (Config.Sampler), optionally tilted toward the distribution tail with
+// exact importance weights (Config.Tilt). Sampling is deterministic for a
+// given seed, independent of parallel scheduling.
+//
+// RunContext evaluates a fixed N; RunStream additionally maintains streaming
+// Welford statistics with confidence intervals on μ−3σ and the fail
+// fraction, emitting checkpoints and stopping early once a requested
+// relative CI is met.
 package mc
 
 import (
@@ -14,7 +23,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,11 +36,14 @@ import (
 
 // Monte Carlo run metrics: total/done counts drive progress tickers; the
 // histogram records per-sample wall time. Sample counts are deterministic
-// for a given Config regardless of GOMAXPROCS. mc.samples.total is the
-// number of samples belonging to runs currently in flight — each run adds
-// its N on entry and subtracts it on exit, so concurrent runs compose
-// instead of clobbering each other. mc.samples.writefail counts samples
-// whose write margin was ≤ 0 (a legitimate fail draw, not a solver error).
+// for a given Config regardless of GOMAXPROCS (streaming early-stop runs may
+// evaluate — and discard — blocks past the stop point, so only their merged
+// statistics are scheduling-independent, not mc.samples.done).
+// mc.samples.total is the number of samples belonging to runs currently in
+// flight — each run adds its N on entry and subtracts it on exit, so
+// concurrent runs compose instead of clobbering each other.
+// mc.samples.writefail counts samples whose write margin was ≤ 0 (a
+// legitimate fail draw, not a solver error).
 var (
 	mRuns         = obs.NewCounter("mc.runs")
 	mSamplesDone  = obs.NewCounter("mc.samples.done")
@@ -42,15 +53,21 @@ var (
 	hSampleDur    = obs.NewHistogram("mc.sample_duration")
 )
 
-// writeMarginFn is a test seam over (*cell.Cell).WriteMargin: the package
-// tests swap it to gate samples and to inject infrastructure errors that the
-// real simulator cannot be made to produce deterministically.
-var writeMarginFn = (*cell.Cell).WriteMargin
+// writeMarginFn is a test seam over the write-margin evaluation: the package
+// tests swap it in to gate samples and to inject infrastructure errors that
+// the real simulator cannot be made to produce deterministically. When nil
+// (the default) samples go through the reusable scratch path.
+var writeMarginFn func(*cell.Cell, cell.WriteBias) (float64, error)
 
 // DefaultSigmaVt is the per-device threshold σ (V) for a single 7 nm fin;
 // single-fin devices maximize variability, which is why the paper requires
 // margins ≥ 35% of Vdd.
 const DefaultSigmaVt = 0.025
+
+// MaxTilt bounds the importance-sampling σ inflation. Beyond this the
+// weight spread makes the effective sample size collapse faster than the
+// tail coverage helps.
+const MaxTilt = 8.0
 
 // Metric selects which margins a run computes.
 type Metric int
@@ -73,6 +90,12 @@ type Config struct {
 	Write   cell.WriteBias // bias for WM; zero value selects NominalWrite(Vdd)
 	Vdd     float64        // nominal supply; 0 selects device.Vdd
 	Metrics Metric         // which margins to compute; 0 selects AllMetrics
+
+	Sampler Sampler // draw sequence; zero value is plain Monte Carlo
+	// Tilt is the importance-sampling σ inflation τ: draws come from
+	// N(0, (τσ)²) with exact density-ratio weights, concentrating samples in
+	// the μ−kσ tail. 0 or 1 disables the tilt; valid range is [1, MaxTilt].
+	Tilt float64
 }
 
 func (c *Config) normalize() error {
@@ -100,26 +123,52 @@ func (c *Config) normalize() error {
 	if c.Metrics == 0 {
 		c.Metrics = AllMetrics
 	}
+	if c.Sampler < 0 || c.Sampler >= numSamplers {
+		return fmt.Errorf("mc: unknown sampler %d", int(c.Sampler))
+	}
+	if c.Tilt == 0 {
+		c.Tilt = 1
+	}
+	if !(c.Tilt >= 1 && c.Tilt <= MaxTilt) { // rejects NaN too
+		return fmt.Errorf("mc: tilt %g must be in [1, %g]", c.Tilt, MaxTilt)
+	}
 	return nil
 }
 
-// Sample is one Monte Carlo draw. Margins not requested are NaN.
+// Sample is one Monte Carlo draw. Margins not requested are NaN. Weight is
+// the importance weight of the draw (1 for untilted samplers); a zero Weight
+// in a hand-built Sample is treated as 1 by the estimators.
 type Sample struct {
-	DVt  cell.Variation
-	HSNM float64
-	RSNM float64
-	WM   float64
+	DVt    cell.Variation
+	HSNM   float64
+	RSNM   float64
+	WM     float64
+	Weight float64
 }
 
-// Min returns the smallest computed margin of the sample.
+// Min returns the smallest computed margin of the sample. It is
+// allocation-free: it sits on the per-sample observability path and in the
+// FailFraction loop.
 func (s Sample) Min() float64 {
 	m := math.Inf(1)
-	for _, v := range []float64{s.HSNM, s.RSNM, s.WM} {
-		if !math.IsNaN(v) && v < m {
-			m = v
-		}
+	if !math.IsNaN(s.HSNM) && s.HSNM < m {
+		m = s.HSNM
+	}
+	if !math.IsNaN(s.RSNM) && s.RSNM < m {
+		m = s.RSNM
+	}
+	if !math.IsNaN(s.WM) && s.WM < m {
+		m = s.WM
 	}
 	return m
+}
+
+// weight returns the sample's importance weight, defaulting zero to 1.
+func (s Sample) weight() float64 {
+	if s.Weight == 0 {
+		return 1
+	}
+	return s.Weight
 }
 
 // RunStats summarizes the execution of one Monte Carlo run. Samples and
@@ -140,7 +189,73 @@ type Result struct {
 	Samples []Sample
 	Stats   RunStats
 
-	HSNM, RSNM, WM num.Summary // summaries of the computed metrics
+	// Summaries of the raw computed metric values. Under an importance tilt
+	// these describe the tilted draw distribution; the weighted (unbiased)
+	// estimators live in RunStream's checkpoints.
+	HSNM, RSNM, WM num.Summary
+}
+
+// evaluator characterizes perturbed cells for one worker, holding the
+// per-worker scratch netlists. Not safe for concurrent use.
+type evaluator struct {
+	lib *device.Library
+	cfg *Config
+	dr  *drawer
+	scr *cell.Scratch // built on first use
+}
+
+func newEvaluator(lib *device.Library, cfg *Config, dr *drawer) *evaluator {
+	return &evaluator{lib: lib, cfg: cfg, dr: dr}
+}
+
+// sample draws and characterizes sample i.
+func (e *evaluator) sample(i int) (Sample, error) {
+	cfg := e.cfg
+	var s Sample
+	s.HSNM, s.RSNM, s.WM = math.NaN(), math.NaN(), math.NaN()
+	e.dr.draw(i, &s)
+
+	needScratch := cfg.Metrics&(HSNM|RSNM) != 0 || (cfg.Metrics&WM != 0 && writeMarginFn == nil)
+	if needScratch && e.scr == nil {
+		scr, err := cell.NewScratch(&cell.Cell{Lib: e.lib, Flavor: cfg.Flavor})
+		if err != nil {
+			return s, err
+		}
+		e.scr = scr
+	}
+	var err error
+	if cfg.Metrics&HSNM != 0 {
+		if s.HSNM, err = e.scr.HoldSNM(s.DVt, cfg.Vdd); err != nil {
+			return s, fmt.Errorf("HSNM: %w", err)
+		}
+	}
+	if cfg.Metrics&RSNM != 0 {
+		if s.RSNM, err = e.scr.ReadSNM(s.DVt, cfg.Read); err != nil {
+			return s, fmt.Errorf("RSNM: %w", err)
+		}
+	}
+	if cfg.Metrics&WM != 0 {
+		var wm float64
+		if fn := writeMarginFn; fn != nil {
+			c := &cell.Cell{Lib: e.lib, Flavor: cfg.Flavor, DVt: s.DVt}
+			wm, err = fn(c, cfg.Write)
+		} else {
+			wm, err = e.scr.WriteMargin(s.DVt, cfg.Write)
+		}
+		if err != nil {
+			if !errors.Is(err, cell.ErrWriteFail) {
+				// A real solver/infrastructure failure must surface, not be
+				// folded into the yield statistics as a zero margin.
+				return s, fmt.Errorf("WM: %w", err)
+			}
+			// The cell does not flip at the applied VWL: a legitimate fail
+			// sample with zero write margin.
+			wm = 0
+			mWriteFails.Inc()
+		}
+		s.WM = wm
+	}
+	return s, nil
 }
 
 // Run executes the experiment, parallelized across CPU cores. It is
@@ -149,12 +264,18 @@ func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), 
 
 // RunContext executes the experiment, parallelized across CPU cores, and
 // stops early when ctx is done: in-flight samples finish, pending ones are
-// abandoned, and the cancellation cause is returned. Sampling stays
-// deterministic for a given seed — each sample's draws depend only on its
-// index — so a completed run is bit-identical for any GOMAXPROCS.
+// abandoned, and the cancellation cause is returned (wrapping the first real
+// sample error, if any sample also failed). Sampling stays deterministic for
+// a given seed — each sample's draws depend only on its index — so a
+// completed run is bit-identical for any GOMAXPROCS. Work is claimed through
+// an atomic cursor, so scheduling memory is O(workers) regardless of N.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
 	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	dr, err := newDrawer(&cfg)
+	if err != nil {
 		return nil, err
 	}
 	lib := device.Default7nm()
@@ -173,25 +294,23 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 	var wg sync.WaitGroup
 	var done atomic.Int64
+	var cursor atomic.Int64
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.N {
 		workers = cfg.N
 	}
-	next := make(chan int, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		next <- i
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				if ctx.Err() != nil {
+			ev := newEvaluator(lib, &cfg, dr)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= cfg.N || ctx.Err() != nil {
 					return
 				}
 				t0 := time.Now()
-				samples[i], errs[i] = runSample(lib, cfg, i)
+				samples[i], errs[i] = ev.sample(i)
 				done.Add(1)
 				mSamplesDone.Inc()
 				hSampleDur.Observe(time.Since(t0))
@@ -206,7 +325,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	wg.Wait()
 	runSpan.Int("done", done.Load())
 	runSpan.End()
-	if err := ctx.Err(); err != nil {
+	if ctx.Err() != nil {
+		// A cancellation must not mask a real failure: if any completed
+		// sample hit a solver error, surface it alongside the cause.
+		for i, serr := range errs {
+			if serr != nil {
+				return nil, fmt.Errorf("mc: sample %d: %w (run canceled after %d of %d samples: %w)",
+					i, serr, done.Load(), cfg.N, context.Cause(ctx))
+			}
+		}
 		return nil, fmt.Errorf("mc: run canceled after %d of %d samples: %w", done.Load(), cfg.N, context.Cause(ctx))
 	}
 	for i, err := range errs {
@@ -237,54 +364,20 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// runSample draws the per-transistor shifts for sample i (deterministically
-// from the seed) and characterizes the perturbed cell.
-func runSample(lib *device.Library, cfg Config, i int) (Sample, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(i+1)*0x9E3779B97F4A7C15)))
-	var s Sample
-	s.HSNM, s.RSNM, s.WM = math.NaN(), math.NaN(), math.NaN()
-	for t := range s.DVt {
-		s.DVt[t] = rng.NormFloat64() * cfg.SigmaVt
-	}
-	c := &cell.Cell{Lib: lib, Flavor: cfg.Flavor, DVt: s.DVt}
-	var err error
-	if cfg.Metrics&HSNM != 0 {
-		if s.HSNM, err = c.HoldSNM(cfg.Vdd); err != nil {
-			return s, fmt.Errorf("HSNM: %w", err)
-		}
-	}
-	if cfg.Metrics&RSNM != 0 {
-		if s.RSNM, err = c.ReadSNM(cfg.Read); err != nil {
-			return s, fmt.Errorf("RSNM: %w", err)
-		}
-	}
-	if cfg.Metrics&WM != 0 {
-		if s.WM, err = writeMarginFn(c, cfg.Write); err != nil {
-			if !errors.Is(err, cell.ErrWriteFail) {
-				// A real solver/infrastructure failure must surface, not be
-				// folded into the yield statistics as a zero margin.
-				return s, fmt.Errorf("WM: %w", err)
-			}
-			// The cell does not flip at the applied VWL: a legitimate fail
-			// sample with zero write margin.
-			s.WM = 0
-			mWriteFails.Inc()
-		}
-	}
-	return s, nil
-}
-
 // MuMinusKSigma returns μ − k·σ for a summary — the paper's yield statistic.
 func MuMinusKSigma(s num.Summary, k float64) float64 { return s.Mean - k*s.Std }
 
-// FailFraction returns the fraction of samples whose minimum computed margin
-// falls below delta.
+// FailFraction returns the weighted fraction of samples whose minimum
+// computed margin falls below delta. For unit weights this is the plain
+// count fraction.
 func (r *Result) FailFraction(delta float64) float64 {
-	fails := 0
+	var wf, wt float64
 	for _, s := range r.Samples {
+		w := s.weight()
+		wt += w
 		if s.Min() < delta {
-			fails++
+			wf += w
 		}
 	}
-	return float64(fails) / float64(len(r.Samples))
+	return wf / wt
 }

@@ -79,6 +79,16 @@ type LU struct {
 	sign int
 }
 
+// NewLU allocates factorization storage for n×n systems, for use with
+// Refactor/SolveInto on hot paths that factor the same-sized matrix
+// repeatedly (the Newton loop re-factors the Jacobian every iteration).
+func NewLU(n int) *LU {
+	if n < 0 {
+		panic(fmt.Sprintf("num: invalid LU size %d", n))
+	}
+	return &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+}
+
 // Factor computes the LU factorization of a square matrix. The input is not
 // modified. Factor returns ErrSingular if a pivot underflows the tolerance
 // relative to the matrix scale.
@@ -86,8 +96,22 @@ func Factor(m *Matrix) (*LU, error) {
 	if m.Rows != m.Cols {
 		return nil, fmt.Errorf("num: Factor requires square matrix, got %d×%d", m.Rows, m.Cols)
 	}
-	n := m.Rows
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	f := NewLU(m.Rows)
+	if err := f.Refactor(m); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactor recomputes the factorization of m into f's existing storage —
+// identical arithmetic to Factor, zero allocation. m must match the size f
+// was created with.
+func (f *LU) Refactor(m *Matrix) error {
+	if m.Rows != m.Cols || m.Rows != f.n {
+		return fmt.Errorf("num: Refactor size mismatch: LU n=%d, matrix %d×%d", f.n, m.Rows, m.Cols)
+	}
+	n := f.n
+	f.sign = 1
 	copy(f.lu, m.Data)
 	for i := range f.piv {
 		f.piv[i] = i
@@ -99,7 +123,7 @@ func Factor(m *Matrix) (*LU, error) {
 		}
 	}
 	if scale == 0 {
-		return nil, ErrSingular
+		return ErrSingular
 	}
 	tol := scale * 1e-300
 	a := f.lu
@@ -113,7 +137,7 @@ func Factor(m *Matrix) (*LU, error) {
 			}
 		}
 		if best <= tol {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -134,16 +158,24 @@ func Factor(m *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A·x = b using the factorization. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
-	if len(b) != f.n {
-		panic(fmt.Sprintf("num: LU.Solve dim mismatch: n=%d len(b)=%d", f.n, len(b)))
+	x := make([]float64, f.n)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A·x = b into dst without allocating. dst and b must both
+// have length n and must not alias.
+func (f *LU) SolveInto(dst, b []float64) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic(fmt.Sprintf("num: LU.SolveInto dim mismatch: n=%d len(dst)=%d len(b)=%d", f.n, len(dst), len(b)))
 	}
 	n := f.n
-	x := make([]float64, n)
+	x := dst
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -164,7 +196,6 @@ func (f *LU) Solve(b []float64) []float64 {
 		}
 		x[i] = (x[i] - s) / a[i*n+i]
 	}
-	return x
 }
 
 // Det returns the determinant from the factorization.

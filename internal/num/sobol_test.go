@@ -1,0 +1,117 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSobolFirstPoints pins the unscrambled sequence against the classical
+// Sobol' values: after the origin point, coordinates walk the dyadic net
+// {0.5, 0.75, 0.25, ...} in every dimension.
+func TestSobolFirstPoints(t *testing.T) {
+	s, err := NewSobol(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, 6)
+	// Point 0 is the (half-ulp offset) origin.
+	s.At(0, u)
+	for d, v := range u {
+		if math.Abs(v-0.5/(1<<32)) > 1e-18 {
+			t.Errorf("point 0 dim %d = %g", d, v)
+		}
+	}
+	s.At(1, u)
+	for d, v := range u {
+		if math.Abs(v-0.5) > 1e-9 {
+			t.Errorf("point 1 dim %d = %g, want 0.5", d, v)
+		}
+	}
+	s.At(2, u)
+	want2 := []float64{0.75, 0.25, 0.25, 0.25, 0.75, 0.75}
+	for d, v := range u {
+		if math.Abs(v-want2[d]) > 1e-9 {
+			t.Errorf("point 2 dim %d = %g, want %g", d, v, want2[d])
+		}
+	}
+	s.At(3, u)
+	want3 := []float64{0.25, 0.75, 0.75, 0.75, 0.25, 0.25}
+	for d, v := range u {
+		if math.Abs(v-want3[d]) > 1e-9 {
+			t.Errorf("point 3 dim %d = %g, want %g", d, v, want3[d])
+		}
+	}
+}
+
+// TestSobolStratification checks the defining net property in each dimension:
+// the first 2^k points place exactly one point in each of the 2^k dyadic
+// intervals, scrambled or not.
+func TestSobolStratification(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 0xDEADBEEF} {
+		s, err := NewSobol(6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]float64, 6)
+		const k = 6 // 64 points, 64 bins
+		n := 1 << k
+		for d := 0; d < 6; d++ {
+			bins := make([]int, n)
+			for i := 0; i < n; i++ {
+				s.At(int64(i), u)
+				bins[int(u[d]*float64(n))]++
+			}
+			for b, c := range bins {
+				if c != 1 {
+					t.Fatalf("seed %d dim %d: bin %d has %d points, want 1", seed, d, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSobolScrambleDeterministicAndDistinct(t *testing.T) {
+	a, _ := NewSobol(6, 42)
+	b, _ := NewSobol(6, 42)
+	c, _ := NewSobol(6, 43)
+	ua, ub, uc := make([]float64, 6), make([]float64, 6), make([]float64, 6)
+	same, diff := true, false
+	for i := int64(0); i < 32; i++ {
+		a.At(i, ua)
+		b.At(i, ub)
+		c.At(i, uc)
+		for d := 0; d < 6; d++ {
+			if ua[d] != ub[d] {
+				same = false
+			}
+			if ua[d] != uc[d] {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed must reproduce the same sequence")
+	}
+	if !diff {
+		t.Error("different seeds must scramble differently")
+	}
+}
+
+func TestSobolBounds(t *testing.T) {
+	if _, err := NewSobol(0, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewSobol(7, 1); err == nil {
+		t.Error("dim 7 accepted")
+	}
+	s, _ := NewSobol(6, 99)
+	u := make([]float64, 6)
+	for i := int64(0); i < 1000; i++ {
+		s.At(i, u)
+		for d, v := range u {
+			if !(v > 0 && v < 1) {
+				t.Fatalf("point %d dim %d = %g outside (0,1)", i, d, v)
+			}
+		}
+	}
+}

@@ -261,13 +261,25 @@ func (r *EvaluateRequest) design(fw *sramco.Framework) (sramco.Flavor, sramco.De
 	return flavor, d, sramco.Activity{Alpha: *r.Alpha, Beta: *r.Beta}, nil
 }
 
-// YieldRequest is the body of /v1/yield: a Monte Carlo margin run.
+// YieldRequest is the body of /v1/yield: a Monte Carlo margin run. With
+// ?stream=1 the response is NDJSON checkpoint lines instead of one summary
+// object.
 type YieldRequest struct {
 	Flavor  string   `json:"flavor"`
 	N       int      `json:"n"`
 	Seed    int64    `json:"seed,omitempty"`
 	SigmaVt float64  `json:"sigma_vt,omitempty"` // default mc.DefaultSigmaVt
 	Metrics []string `json:"metrics,omitempty"`  // subset of hsnm/rsnm/wm; default all
+
+	// Sampler selects the draw sequence: "mc" (default), "sobol" or "lhs".
+	Sampler string `json:"sampler,omitempty"`
+	// Tilt is the importance-sampling σ inflation τ in [1, mc.MaxTilt];
+	// 0 or 1 disables the tilt.
+	Tilt float64 `json:"tilt,omitempty"`
+	// RelCI, when positive, stops the run early once every requested
+	// metric's 95% CI half-width on μ−3σ is within RelCI·|μ−3σ|; N becomes
+	// the sample budget rather than an exact count.
+	RelCI float64 `json:"rel_ci,omitempty"`
 
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
@@ -311,6 +323,23 @@ func (r *YieldRequest) normalize() *apiError {
 		}
 	}
 	r.Metrics = ordered
+	if r.Sampler == "" {
+		r.Sampler = "mc"
+	}
+	sampler, err := sramco.ParseMCSampler(strings.ToLower(r.Sampler))
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	r.Sampler = sampler.String()
+	if r.Tilt == 1 {
+		r.Tilt = 0 // canonical "no tilt" spelling, so both hit one cache key
+	}
+	if r.Tilt != 0 && !(r.Tilt >= 1 && r.Tilt <= mc.MaxTilt) {
+		return badRequest("tilt=%g must be in [1, %g]", r.Tilt, mc.MaxTilt)
+	}
+	if !(r.RelCI >= 0 && r.RelCI < 1) {
+		return badRequest("rel_ci=%g must be in [0, 1)", r.RelCI)
+	}
 	if r.TimeoutMS < 0 {
 		return badRequest("timeout_ms must be non-negative, got %d", r.TimeoutMS)
 	}
@@ -318,8 +347,8 @@ func (r *YieldRequest) normalize() *apiError {
 }
 
 func (r *YieldRequest) key() string {
-	return fmt.Sprintf("yield|flavor=%s|n=%d|seed=%d|sigma=%g|metrics=%s",
-		r.Flavor, r.N, r.Seed, r.SigmaVt, strings.Join(r.Metrics, ","))
+	return fmt.Sprintf("yield|flavor=%s|n=%d|seed=%d|sigma=%g|metrics=%s|sampler=%s|tilt=%g|relci=%g",
+		r.Flavor, r.N, r.Seed, r.SigmaVt, strings.Join(r.Metrics, ","), r.Sampler, r.Tilt, r.RelCI)
 }
 
 // config maps a normalized request onto the Monte Carlo configuration.
@@ -339,13 +368,30 @@ func (r *YieldRequest) config() (sramco.MCConfig, error) {
 			metrics |= mc.WM
 		}
 	}
+	var sampler sramco.MCSampler
+	if r.Sampler != "" { // zero value (plain MC) for requests built in code
+		if sampler, err = sramco.ParseMCSampler(r.Sampler); err != nil {
+			return sramco.MCConfig{}, err
+		}
+	}
 	return sramco.MCConfig{
 		Flavor:  flavor,
 		N:       r.N,
 		Seed:    r.Seed,
 		SigmaVt: r.SigmaVt,
 		Metrics: metrics,
+		Sampler: sampler,
+		Tilt:    r.Tilt,
 	}, nil
+}
+
+// streamConfig maps a normalized request onto the streaming configuration.
+func (r *YieldRequest) streamConfig() (sramco.MCStreamConfig, error) {
+	cfg, err := r.config()
+	if err != nil {
+		return sramco.MCStreamConfig{}, err
+	}
+	return sramco.MCStreamConfig{Config: cfg, RelCI: r.RelCI}, nil
 }
 
 func ptr[T any](v T) *T { return &v }

@@ -129,10 +129,11 @@ type Server struct {
 	// Test seams: the concurrency tests gate these to hold fills open.
 	// evalHook, when set, runs at the top of every shared-Evaluator batch
 	// eval so tests can hold an evaluate fill open past the batch deadline.
-	optimizeFn func(context.Context, sramco.Options) (*sramco.Optimum, error)
-	paretoFn   func(context.Context, sramco.Options) (*sramco.ParetoResult, error)
-	yieldFn    func(context.Context, sramco.MCConfig) (*sramco.MCResult, error)
-	evalHook   func()
+	optimizeFn    func(context.Context, sramco.Options) (*sramco.Optimum, error)
+	paretoFn      func(context.Context, sramco.Options) (*sramco.ParetoResult, error)
+	yieldFn       func(context.Context, sramco.MCConfig) (*sramco.MCResult, error)
+	yieldStreamFn func(context.Context, sramco.MCStreamConfig, func(sramco.MCCheckpoint) error) (*sramco.MCStreamResult, error)
+	evalHook      func()
 }
 
 // New builds a Server over a characterized framework.
@@ -147,9 +148,10 @@ func New(fw *sramco.Framework, cfg Config) *Server {
 		sem:        make(chan struct{}, cfg.Workers),
 		baseCtx:    baseCtx,
 		baseCancel: cancel,
-		optimizeFn: fw.OptimizeWithContext,
-		paretoFn:   fw.ParetoSearchContext,
-		yieldFn:    sramco.MonteCarloYieldContext,
+		optimizeFn:    fw.OptimizeWithContext,
+		paretoFn:      fw.ParetoSearchContext,
+		yieldFn:       sramco.MonteCarloYieldContext,
+		yieldStreamFn: sramco.MonteCarloYieldStream,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
@@ -493,12 +495,19 @@ type YieldResponse struct {
 	RSNM *num.Summary `json:"rsnm,omitempty"`
 	WM   *num.Summary `json:"wm,omitempty"`
 
-	// MuMinus3Sigma is the paper's μ−3σ yield statistic per computed metric.
+	// MuMinus3Sigma is the paper's μ−3σ yield statistic per computed metric
+	// (importance-weighted when the request set a tilt).
 	MuMinus3Sigma map[string]float64 `json:"mu_minus_3sigma"`
 	// DeltaV is the yield requirement δ = 0.35·Vdd; FailFraction is the
-	// fraction of samples whose minimum margin falls below it.
+	// (weighted) fraction of samples whose minimum margin falls below it.
 	DeltaV       float64 `json:"delta_v"`
 	FailFraction float64 `json:"fail_fraction"`
+
+	// Streaming-estimator extras, present when the request set rel_ci or a
+	// tilt: convergence state and the Wilson 95% bounds on the fail fraction.
+	Converged bool     `json:"converged,omitempty"`
+	FailLo    *float64 `json:"fail_ci_lo,omitempty"`
+	FailHi    *float64 `json:"fail_ci_hi,omitempty"`
 }
 
 func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
@@ -510,9 +519,16 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
+	if r.URL.Query().Get("stream") == "1" {
+		s.handleYieldStream(w, r, req)
+		return
+	}
 	timeoutMS := req.TimeoutMS
 	req.TimeoutMS = 0
 	s.serveCached(w, r, req.key(), timeoutMS, func(ctx context.Context) (any, error) {
+		if req.RelCI > 0 || req.Tilt > 1 {
+			return s.yieldStreamResult(ctx, req)
+		}
 		cfg, err := req.config()
 		if err != nil {
 			return nil, err
@@ -545,6 +561,107 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp, nil
 	})
+}
+
+// yieldStreamResult fills a non-streaming /v1/yield request through the
+// streaming engine, used whenever the request asks for estimator features
+// the fixed-N path does not have (early stop on rel_ci, importance tilt).
+// Raw-value summaries describe the drawn distribution; μ−3σ and the fail
+// fraction come from the weighted checkpoint estimators.
+func (s *Server) yieldStreamResult(ctx context.Context, req YieldRequest) (any, error) {
+	scfg, err := req.streamConfig()
+	if err != nil {
+		return nil, err
+	}
+	scfg.KeepValues = true
+	res, err := s.yieldStreamFn(ctx, scfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	final := res.Final
+	resp := &YieldResponse{
+		Request:       req,
+		Samples:       final.Samples,
+		MuMinus3Sigma: map[string]float64{},
+		DeltaV:        final.Delta,
+		FailFraction:  final.FailFraction,
+		Converged:     final.Converged,
+		FailLo:        &final.FailLo,
+		FailHi:        &final.FailHi,
+	}
+	summarize := func(m mc.Metric) *num.Summary {
+		vals := res.Values[m]
+		if len(vals) == 0 {
+			return nil
+		}
+		sum := num.Summarize(vals)
+		return &sum
+	}
+	if final.HSNM != nil {
+		resp.HSNM = summarize(mc.HSNM)
+		resp.MuMinus3Sigma["hsnm"] = final.HSNM.Mu3
+	}
+	if final.RSNM != nil {
+		resp.RSNM = summarize(mc.RSNM)
+		resp.MuMinus3Sigma["rsnm"] = final.RSNM.Mu3
+	}
+	if final.WM != nil {
+		resp.WM = summarize(mc.WM)
+		resp.MuMinus3Sigma["wm"] = final.WM.Mu3
+	}
+	return resp, nil
+}
+
+// handleYieldStream answers POST /v1/yield?stream=1: NDJSON checkpoint
+// lines as the streaming engine converges, the last one marked final (and
+// converged when the run early-stopped on rel_ci). Streams are never cached
+// or coalesced — each request runs its own engine under the client's
+// deadline — so two identical streams emit identical lines but compute
+// independently. A mid-stream failure becomes a trailing {"error": ...}
+// line, since the 200 header is already on the wire.
+func (s *Server) handleYieldStream(w http.ResponseWriter, r *http.Request, req YieldRequest) {
+	mRequests.Inc()
+	release, err := s.admit()
+	if err != nil {
+		writeError(w, asAPIError(err))
+		return
+	}
+	defer release()
+
+	timeoutMS := req.TimeoutMS
+	req.TimeoutMS = 0
+	ctx, cancel := context.WithTimeout(r.Context(), s.effectiveTimeout(timeoutMS))
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, asAPIError(err))
+		return
+	}
+	defer s.release()
+
+	scfg, err := req.streamConfig()
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	_, err = s.yieldStreamFn(ctx, scfg, func(cp sramco.MCCheckpoint) error {
+		if err := enc.Encode(cp); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		mErrors.Inc()
+		// Best effort: the client may already be gone.
+		_ = enc.Encode(errorEnvelope{Error: *asAPIError(err)})
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -429,6 +429,10 @@ func TestRequestValidation(t *testing.T) {
 		{"yield n too small", "/v1/yield", `{"flavor":"hvt","n":1}`},
 		{"yield n too large", "/v1/yield", fmt.Sprintf(`{"flavor":"hvt","n":%d}`, maxYieldSamples+1)},
 		{"yield bad metric", "/v1/yield", `{"flavor":"hvt","n":16,"metrics":["snm"]}`},
+		{"yield bad sampler", "/v1/yield", `{"flavor":"hvt","n":16,"sampler":"halton"}`},
+		{"yield tilt too small", "/v1/yield", `{"flavor":"hvt","n":16,"tilt":0.5}`},
+		{"yield tilt too large", "/v1/yield", `{"flavor":"hvt","n":16,"tilt":9}`},
+		{"yield bad rel_ci", "/v1/yield", `{"flavor":"hvt","n":16,"rel_ci":1}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -84,6 +84,14 @@ type (
 	// MCConfig and MCResult drive Monte Carlo yield analysis.
 	MCConfig = mc.Config
 	MCResult = mc.Result
+	// MCSampler selects the Monte Carlo draw sequence (plain, Sobol', LHS).
+	MCSampler = mc.Sampler
+	// MCStreamConfig, MCCheckpoint, MCMetricStat and MCStreamResult drive
+	// the streaming yield engine (MonteCarloYieldStream).
+	MCStreamConfig = mc.StreamConfig
+	MCCheckpoint   = mc.Checkpoint
+	MCMetricStat   = mc.MetricStat
+	MCStreamResult = mc.StreamResult
 )
 
 // Re-exported constants.
@@ -292,6 +300,18 @@ func MonteCarloYield(cfg MCConfig) (*MCResult, error) { return mc.Run(cfg) }
 func MonteCarloYieldContext(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	return mc.RunContext(ctx, cfg)
 }
+
+// MonteCarloYieldStream runs the streaming Monte Carlo engine: incremental
+// Welford statistics with confidence intervals on μ−3σ and the fail
+// fraction, a checkpoint emitted at each block-aligned interval, and an
+// early stop once every requested metric's relative CI is inside
+// cfg.RelCI. emit may be nil to collect only the final result.
+func MonteCarloYieldStream(ctx context.Context, cfg MCStreamConfig, emit func(MCCheckpoint) error) (*MCStreamResult, error) {
+	return mc.RunStream(ctx, cfg, emit)
+}
+
+// ParseMCSampler parses a sampler name ("mc", "sobol", "lhs").
+func ParseMCSampler(s string) (MCSampler, error) { return mc.ParseSampler(s) }
 
 // DesignPoint pairs a design with its evaluated metrics (see ParetoFront).
 type DesignPoint = core.DesignPoint
