@@ -557,3 +557,41 @@ func BenchmarkModelEvaluationPrepared(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHybridSearch16KB measures the enlarged hybrid search: the 16 KB
+// min-PADP optimization over 8 row groups (every LVT/HVT assignment mask)
+// and column-mux ratios up to 4 — the largest candidate space any search in
+// the module covers, and the one that leans hardest on the branch-and-bound
+// Evaluator. The space-points metric counts the full candidate space
+// (Evaluated + SkippedRSNM + PrunedBound), so benchcompare normalizes to ns
+// per candidate point and a bound change that merely prunes less does not
+// masquerade as a latency shift.
+func BenchmarkHybridSearch16KB(b *testing.B) {
+	fw := benchFramework(b)
+	padp, ok := ObjectiveByName("padp")
+	if !ok {
+		b.Fatal("padp objective missing")
+	}
+	sp := core.DefaultSpace()
+	sp.MuxMax = 4
+	opts := core.Options{
+		CapacityBits: 16 * 1024 * 8,
+		Flavor:       device.LVT,
+		Method:       core.M2,
+		Objective:    padp,
+		HybridGroups: 8,
+		Space:        sp,
+	}
+	var stats SearchStats
+	for i := 0; i < b.N; i++ {
+		opt, err := fw.Core().Optimize(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = opt.Stats
+	}
+	b.ReportMetric(float64(stats.Evaluated+stats.SkippedRSNM+stats.PrunedBound), "space-points")
+	b.ReportMetric(float64(stats.Evaluated), "model-evals")
+	b.ReportMetric(float64(stats.PrunedBound), "pruned-bound")
+	b.ReportMetric(stats.BoundEfficiency(), "bound-eff")
+}

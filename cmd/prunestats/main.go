@@ -64,6 +64,32 @@ func main() {
 			}
 		}
 	}
+	// One hybrid point: the enlarged (group-assignment × mux) space leans on
+	// the bound far harder than the paper grid, so its efficiency is the
+	// first number to drop when a bound change loosens the hybrid terms.
+	padp, _ := core.ObjectiveByName("padp")
+	hybridOpts := core.Options{
+		CapacityBits: 16 * 1024 * 8,
+		Flavor:       device.LVT,
+		Method:       core.M2,
+		Objective:    padp,
+		HybridGroups: 8,
+	}
+	sp := core.DefaultSpace()
+	sp.MuxMax = 4
+	hybridOpts.Space = sp
+	opt, err := fw.Optimize(hybridOpts)
+	if err != nil {
+		cliutil.Fatalf("16 KB hybrid: %v", err)
+	}
+	st := opt.Stats
+	fmt.Printf("%-8s %-6s %-6s %12d %12d %12d %9.1f%% %10s\n",
+		"16KB*", "hyb8", "m2", st.Evaluated, st.PrunedBound, st.SkippedTotal(),
+		100*st.BoundEfficiency(), st.Wall.Round(10_000))
+	totalEval += st.Evaluated
+	totalPruned += st.PrunedBound
+	totalSkipped += st.SkippedTotal()
+
 	total := totalEval + totalPruned
 	eff := 0.0
 	if total > 0 {

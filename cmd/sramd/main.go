@@ -39,6 +39,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +60,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compute deadline cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight work on shutdown")
 	catalogPath := flag.String("catalog", "", "precomputed design-space catalog file (missing or stale: rebuilt in the background)")
+	catalogGroups := flag.String("catalog-groups", "", "comma-separated hybrid group counts to precompute per catalog cell (e.g. \"4,8\")")
 	accessLog := flag.Bool("access-log", true, "log one structured line per request to stderr")
 	traceBuf := flag.Int("trace-buf", 0, "span ring-buffer capacity behind /debug/trace (0 = default)")
 	traceLog := flag.String("trace-log", "", "mirror every span/point to a JSON-lines `file`")
@@ -133,7 +135,12 @@ func main() {
 	defer stop()
 
 	if *catalogPath != "" {
-		setupCatalog(ctx, srv, fw, *catalogPath)
+		grid := serve.DefaultCatalogGrid()
+		var err error
+		if grid.Groups, err = parseGroupsList(*catalogGroups); err != nil {
+			cliutil.Fatalf("-catalog-groups: %v", err)
+		}
+		setupCatalog(ctx, srv, fw, *catalogPath, grid)
 	}
 
 	errCh := make(chan error, 1)
@@ -164,6 +171,26 @@ func main() {
 	cliutil.Shutdown()
 }
 
+// parseGroupsList parses the -catalog-groups value: a comma-separated list
+// of hybrid group counts, each a power of two in [2, 8].
+func parseGroupsList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		g, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad group count %q: %v", part, err)
+		}
+		if g < 2 || g > 8 || g&(g-1) != 0 {
+			return nil, fmt.Errorf("group count %d must be a power of two in [2, 8]", g)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
 // serveDebug runs the pprof listener. It is intentionally separate from the
 // service listener so profiling endpoints can stay unexposed (bound to
 // localhost, firewalled) while /v1/* serves traffic.
@@ -185,7 +212,7 @@ func serveDebug(addr string) {
 // technology fingerprint; otherwise it recomputes the default grid in the
 // background (canceled by shutdown), swaps the result in atomically and
 // rewrites the file. The server runs on live search until the swap.
-func setupCatalog(ctx context.Context, srv *serve.Server, fw *sramco.Framework, path string) {
+func setupCatalog(ctx context.Context, srv *serve.Server, fw *sramco.Framework, path string, grid serve.CatalogGrid) {
 	cat, err := catalog.Load(path)
 	switch {
 	case err == nil && cat.Fingerprint() == fw.Fingerprint():
@@ -200,7 +227,7 @@ func setupCatalog(ctx context.Context, srv *serve.Server, fw *sramco.Framework, 
 		fmt.Fprintf(os.Stderr, "sramd: catalog %s unreadable (%v), recomputing in background\n", path, err)
 	}
 	go func() {
-		cat, err := srv.BuildCatalog(ctx, serve.DefaultCatalogGrid())
+		cat, err := srv.BuildCatalog(ctx, grid)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sramd: catalog build failed: %v\n", err)
 			return

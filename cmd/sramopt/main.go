@@ -72,6 +72,9 @@ func main() {
 	compare := flag.String("compare", "", "also evaluate a fixed design NRxNC:Npre:Nwr:VSSCmV")
 	sensitivity := flag.Bool("sensitivity", false, "print the neighbor sensitivity of the optimum")
 	dwl := flag.Bool("dwl", false, "also search divided-wordline segmentation (extension)")
+	objectiveStr := flag.String("objective", "edp", "search objective: edp, delay, energy, area or padp")
+	groups := flag.Int("groups", 0, "hybrid cell-assignment row groups (power of two ≤ 8; 0 = single flavor)")
+	mux := flag.Int("mux", 0, "max column-mux ratio searched (power of two; 0 = one SA per column pair)")
 	asJSON := flag.Bool("json", false, "emit the optimum as JSON on stdout instead of text")
 	obsFlags := cliutil.ObsFlags()
 	flag.Parse()
@@ -90,6 +93,10 @@ func main() {
 	} else if !strings.EqualFold(*modeStr, "paper") {
 		cliutil.Fatalf("unknown mode %q", *modeStr)
 	}
+	objective, ok := core.ObjectiveByName(*objectiveStr)
+	if !ok {
+		cliutil.Fatalf("unknown objective %q (want edp, delay, energy, area or padp)", *objectiveStr)
+	}
 	if err := obsFlags.Start(); err != nil {
 		cliutil.Fatalf("%v", err)
 	}
@@ -102,7 +109,15 @@ func main() {
 	if err != nil {
 		cliutil.Fatalf("%v", err)
 	}
-	opts := core.Options{CapacityBits: *bytes * 8, Flavor: flavor, Method: method, SearchWLSegs: *dwl}
+	opts := core.Options{
+		CapacityBits: *bytes * 8, Flavor: flavor, Method: method,
+		SearchWLSegs: *dwl, Objective: objective, HybridGroups: *groups,
+	}
+	if *mux > 1 {
+		sp := core.DefaultSpace()
+		sp.MuxMax = *mux
+		opts.Space = sp
+	}
 	reg := obs.Default()
 	stopProgress := obsFlags.StartProgress(func() string {
 		return fmt.Sprintf("search: %d evaluated, chunk %d/%d",
@@ -137,6 +152,12 @@ func main() {
 		unit.Volts(d.VDDC), unit.Volts(d.VSSC), unit.Volts(d.VWL))
 	if s := d.Geom.Segments(); s > 1 {
 		fmt.Printf(" WLsegs=%d", s)
+	}
+	if m := d.Geom.MuxRatio(); m > 1 {
+		fmt.Printf(" mux=%d", m)
+	}
+	if d.Groups > 0 {
+		fmt.Printf(" groups=%d mask=%#x", d.Groups, d.GroupMask)
 	}
 	fmt.Println()
 	printResult(r)
@@ -242,7 +263,7 @@ func printResult(r *array.Result) {
 		unit.Seconds(r.DRead), unit.Seconds(r.DWrite), unit.Seconds(r.DArray))
 	fmt.Printf("  E_sw,rd=%s E_sw,wr=%s E_leak=%s E_array=%s\n",
 		unit.Joules(r.ESwRead), unit.Joules(r.ESwWrite), unit.Joules(r.ELeak), unit.Joules(r.EArray))
-	fmt.Printf("  EDP=%.4g J·s\n", r.EDP)
+	fmt.Printf("  EDP=%.4g J·s  area=%.4g m²  PADP=%.4g J·s·m²\n", r.EDP, r.Area, r.PADP)
 }
 
 func printBreakdown(r *array.Result) {

@@ -103,12 +103,21 @@ func (t *Tech) Validate() error {
 }
 
 // Design is one candidate array design point: the organization plus the
-// assist rail voltages.
+// assist rail voltages, and — for hybrid arrays — the per-row-group cell
+// flavor assignment.
 type Design struct {
 	Geom wire.Geometry
 	VDDC float64 // cell supply rail during read
 	VSSC float64 // cell ground rail during read (≤ 0)
 	VWL  float64 // wordline rail during write
+
+	// Groups splits the rows into equal contiguous groups ordered from the
+	// sense-amp end; GroupMask bit g set means group g uses the alternate
+	// cell flavor instead of the base one. 0 (the zero value) selects the
+	// paper's single global flavor; omitempty keeps that encoding
+	// byte-identical to designs that predate hybrid assignment.
+	Groups    int    `json:",omitempty"`
+	GroupMask uint32 `json:",omitempty"`
 }
 
 // Validate checks the design against the paper's structural constraints.
@@ -125,7 +134,66 @@ func (d Design) Validate(t *Tech) error {
 	if d.VWL < t.Vdd {
 		return fmt.Errorf("array: VWL=%g below Vdd=%g (WLOD only)", d.VWL, t.Vdd)
 	}
+	if err := d.validateHybrid(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateHybrid checks the per-row-group assignment fields on their own.
+func (d Design) validateHybrid() error {
+	if d.Groups == 0 {
+		if d.GroupMask != 0 {
+			return fmt.Errorf("array: GroupMask=%#x requires Groups ≥ 2", d.GroupMask)
+		}
+		return nil
+	}
+	if d.Groups < 2 || d.Groups > MaxGroups || d.Groups&(d.Groups-1) != 0 {
+		return fmt.Errorf("array: Groups=%d must be a power of two in [2,%d]", d.Groups, MaxGroups)
+	}
+	if d.Geom.NR%d.Groups != 0 || d.Geom.NR < d.Groups {
+		return fmt.Errorf("array: Groups=%d must divide n_r=%d", d.Groups, d.Geom.NR)
+	}
+	if d.GroupMask >= 1<<uint(d.Groups) {
+		return fmt.Errorf("array: GroupMask=%#x has bits beyond Groups=%d", d.GroupMask, d.Groups)
+	}
+	return nil
+}
+
+// MaxGroups bounds the per-row-group hybrid assignment: at most 8 contiguous
+// row groups, so a full assignment fits one mask byte and the search space
+// stays enumerable.
+const MaxGroups = 8
+
+// FlavorTerms carries the cell-level quantities of one flavor that the
+// hybrid evaluator needs per row group. The base flavor's terms live in
+// Tech; an alternate flavor supplies its own via Hybrid.
+type FlavorTerms struct {
+	LeakCell        float64                          // standby leakage power per cell (W)
+	IRead           func(vddc, vssc float64) float64 // read current under the assist rails
+	WriteDelayCell  func(vwl float64) float64        // cell write delay under WLOD
+	WriteEnergyCell float64                          // cell-internal write switching energy
+}
+
+// Validate reports structural problems in the flavor terms.
+func (ft FlavorTerms) Validate() error {
+	if ft.LeakCell < 0 {
+		return fmt.Errorf("array: negative alt cell leakage %g", ft.LeakCell)
+	}
+	if ft.IRead == nil || ft.WriteDelayCell == nil {
+		return fmt.Errorf("array: missing alt IRead/WriteDelayCell providers")
+	}
+	return nil
+}
+
+// Hybrid describes a per-row-group flavor assignment for the evaluator:
+// Groups contiguous row groups ordered from the sense-amp end, mask bit g
+// selecting the Alt flavor for group g (clear bits keep the Tech's base
+// flavor).
+type Hybrid struct {
+	Groups int
+	Mask   uint32
+	Alt    FlavorTerms
 }
 
 // Activity carries the workload parameters of Eq. (3)/(5).
@@ -154,6 +222,8 @@ type Breakdown struct {
 	DRowDec, DRowDrv, DWLRead, DBLRead float64
 	DColDec, DColDrv, DCOL             float64
 	DSenseAmp, DPreRead                float64
+	// Output-mux select line (zero when no sense amps are shared).
+	DMuxSel float64
 	// Write-path delays.
 	DWLWrite, DBLWrite, DWriteCell, DPreWrite float64
 	// Assist rail settling (feasibility, not on the access critical path).
@@ -163,6 +233,8 @@ type Breakdown struct {
 	ERowDec, ERowDrv, EWLRead, EBLRead float64
 	EColDec, EColDrv, ECOL             float64
 	ESenseAmp, EPreRead, ECVDD, ECVSS  float64
+	// Output-mux select line (zero when no sense amps are shared).
+	EMuxSel float64
 	// Write energies.
 	EWLWrite, EBLWrite, EWriteCell, EPreWrite float64
 }
@@ -183,6 +255,9 @@ type Result struct {
 	EArray   float64 // Eq. (5)
 
 	EDP float64 // E_array · D_array
+
+	Area float64 // layout area (m²): wire.Area of the geometry
+	PADP float64 // power-area-delay product: EDP · Area
 
 	// RailsSettleInTime reports the paper's §4 requirement that CVDD and
 	// CVSS reach their assist levels before the wordline reaches 50 % of
@@ -222,6 +297,32 @@ func Evaluate(t *Tech, d Design, act Activity) (*Result, error) {
 	var e Evaluator
 	e.init(t, act)
 	if err := e.Prepare(d.Geom, d.VDDC, d.VSSC, d.VWL); err != nil {
+		return nil, err
+	}
+	return e.Eval(d.Geom.Npre, d.Geom.Nwr)
+}
+
+// EvaluateHybrid computes the full array model for one hybrid design point:
+// the design's Groups/GroupMask assignment over the base flavor in t and the
+// alternate flavor terms in alt. A design with Groups == 0 degenerates to
+// Evaluate.
+func EvaluateHybrid(t *Tech, d Design, act Activity, alt FlavorTerms) (*Result, error) {
+	if d.Groups == 0 {
+		return Evaluate(t, d, act)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(t); err != nil {
+		return nil, err
+	}
+	if err := act.Validate(); err != nil {
+		return nil, err
+	}
+	var e Evaluator
+	e.init(t, act)
+	h := Hybrid{Groups: d.Groups, Mask: d.GroupMask, Alt: alt}
+	if err := e.PrepareHybrid(d.Geom, d.VDDC, d.VSSC, d.VWL, h); err != nil {
 		return nil, err
 	}
 	return e.Eval(d.Geom.Npre, d.Geom.Nwr)

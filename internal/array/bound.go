@@ -18,6 +18,8 @@ type Bound struct {
 	DArray float64
 	EArray float64
 	EDP    float64
+	Area   float64
+	PADP   float64
 
 	RailsSettleInTime bool
 }
@@ -66,16 +68,21 @@ func (e *Evaluator) BoundRect(npreLo, npreHi, nwrLo, nwrHi int) (Bound, error) {
 	blBaseLo := e.blFixed + float64(npreLo+1)*e.cdp
 	var cBLmin, cCOLmin float64
 	if e.muxed {
-		cBLmin = blBaseLo + 2*fLo*e.sumCd
+		cBLmin = blBaseLo + 2*fLo*e.sumCd + e.blMuxCd
 		cCOLmin = e.colBase + e.colW*fLo*e.sumCg
 	} else {
-		cBLmin = blBaseLo + fLo*e.sumCd + e.cdp
+		cBLmin = blBaseLo + fLo*e.sumCd + e.cdp + e.blMuxCd
 	}
 
 	// Per-point component minima (energies depend only on the capacitance;
 	// the anti-monotone delays take the maximal current denominator).
 	dCOL, eCOL := component(cCOLmin, e.vdd, e.vdd, e.iCol)
 	dBLr, eBLr := component(cBLmin, e.dvBLRd, e.deltaVS, e.iRead)
+	if e.hGroups > 1 {
+		// The hybrid read bitline delay is a max of terms each monotone
+		// increasing in C_BL, so evaluating it at cBLmin bounds the rectangle.
+		dBLr = e.hybridBLDelay(cBLmin)
+	}
 	dBLw, eBLw := component(cBLmin, e.vdd, e.vdd, coefBLwr*float64(nwrHi)*e.iTG)
 	iPreMax := coefPRE * float64(npreHi) * e.ionP
 	dPreR, ePreR := component(cBLmin, e.vdd, e.deltaVS, iPreMax)
@@ -85,7 +92,7 @@ func (e *Evaluator) BoundRect(npreLo, npreHi, nwrLo, nwrHi int) (Bound, error) {
 	b := &e.parts
 	readRow := e.dReadRow + dBLr
 	readCol := e.dColBase + dCOL
-	dRead := math.Max(readRow, readCol) + b.DSenseAmp + dPreR
+	dRead := math.Max(readRow, readCol) + b.DSenseAmp + dPreR + e.dMuxExtra
 	writeCol := e.dColBase + dCOL + dBLw
 	dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + dPreW
 	dArray := math.Max(dRead, dWrite)
@@ -97,16 +104,23 @@ func (e *Evaluator) BoundRect(npreLo, npreHi, nwrLo, nwrHi int) (Bound, error) {
 	eRead := e.eReadBase + e.blRdMult*eBLr +
 		b.EColDec + b.EColDrv + eCOL +
 		e.saE + e.preRdMult*ePreR +
-		e.railE
+		e.railE + e.eMuxExtra
 	eWrite := e.eWriteBase + eCOL +
 		e.wrMult*eBLw + e.wrCellE + preWrE
 	eSw := e.beta*eRead + e.oneMinusBeta*eWrite
 	eArray := e.alpha*eSw + e.leakCoef*dArray
 
+	// Area is exactly monotone increasing in both fin counts, so the low
+	// corner is its minimum; the PADP bound multiplies the three lower
+	// bounds (correctly-rounded × is monotone).
+	areaMin := (e.area0 + float64(npreLo)*e.areaPre) + float64(nwrLo)*e.areaWr
+
 	return Bound{
 		DArray:            dArray * boundSlack,
 		EArray:            eArray * boundSlack,
 		EDP:               (eArray * dArray) * boundSlack,
+		Area:              areaMin * boundSlack,
+		PADP:              ((eArray * dArray) * areaMin) * boundSlack,
 		RailsSettleInTime: e.settles,
 	}, nil
 }

@@ -39,10 +39,10 @@ type Evaluator struct {
 
 	// Prepared-chunk key: Prepare is memoized on the last (geometry base,
 	// rails) so repeated calls inside one chunk cost a few comparisons.
-	prepared        bool
-	nr, nc, w, segs int
-	vddc, vssc, vwl float64
-	geom            wire.Geometry // base geometry stamped into results
+	prepared             bool
+	nr, nc, w, segs, mux int
+	vddc, vssc, vwl      float64
+	geom                 wire.Geometry // base geometry stamped into results
 
 	// Chunk-invariant Table-2 components, ready to copy into each Result.
 	parts Breakdown
@@ -85,7 +85,29 @@ type Evaluator struct {
 	acMinusW   float64 // activeCols - W
 
 	// Eq. (3)-(5) constants.
-	leakCoef float64 // Bits·LeakCell
+	leakCoef float64 // Bits·LeakCell (hybrid: per-group weighted sum)
+
+	// Output-mux (sense-amp sharing) terms. All are exact zeros when the
+	// geometry shares no sense amps, so appending them to the existing
+	// per-point chains leaves the degenerate results bit-identical.
+	muxRatio  int     // normalized sharing ratio (≥ 1)
+	blMuxCd   float64 // extra bitline drain cap of the mux TG stack
+	dMuxExtra float64 // DMuxSel, appended to the read delay
+	eMuxExtra float64 // EMuxSel, appended to the read energy
+
+	// Layout-area terms (wire.Area factorization).
+	area0, areaPre, areaWr float64
+
+	// Hybrid per-row-group flavor state (hGroups == 0 when the chunk was
+	// prepared for a single global flavor). Group 0 is nearest the sense
+	// amps; hBLFix[g] is the effective fixed bitline capacitance seen when
+	// group g's cell drives the read (its rows plus the wire up to it), with
+	// hBLFix[G-1] exactly blFixed so a uniform mask reproduces the global
+	// evaluation bit-identically.
+	hGroups int
+	hMask   uint32
+	hIRead  [MaxGroups]float64
+	hBLFix  [MaxGroups]float64
 
 	// §4 rail-settling feasibility (invariant: depends only on rails/WL).
 	settles bool
@@ -150,10 +172,41 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 	if e.tech == nil {
 		return fmt.Errorf("array: Prepare on zero Evaluator (use NewEvaluator)")
 	}
-	if e.prepared && g.NR == e.nr && g.NC == e.nc && g.W == e.w && g.WLSegs == e.segs &&
+	if e.prepared && e.hGroups == 0 &&
+		g.NR == e.nr && g.NC == e.nc && g.W == e.w && g.WLSegs == e.segs && g.Mux == e.mux &&
 		vddc == e.vddc && vssc == e.vssc && vwl == e.vwl {
 		return nil
 	}
+	return e.prepare(g, vddc, vssc, vwl, nil)
+}
+
+// PrepareHybrid is Prepare for a per-row-group flavor assignment: the chunk
+// additionally fixes (Groups, Mask, alternate flavor terms). Groups ≤ 1
+// degenerates to the global-flavor Prepare (Mask must then be zero). Unlike
+// Prepare it never memoizes, because the alternate terms are not part of the
+// memo key.
+func (e *Evaluator) PrepareHybrid(g wire.Geometry, vddc, vssc, vwl float64, h Hybrid) error {
+	if e.tech == nil {
+		return fmt.Errorf("array: Prepare on zero Evaluator (use NewEvaluator)")
+	}
+	if h.Groups <= 1 {
+		if h.Mask != 0 {
+			return fmt.Errorf("array: GroupMask=%#x requires Groups ≥ 2", h.Mask)
+		}
+		return e.Prepare(g, vddc, vssc, vwl)
+	}
+	if err := h.Alt.Validate(); err != nil {
+		return err
+	}
+	if err := (Design{Geom: g, Groups: h.Groups, GroupMask: h.Mask}).validateHybrid(); err != nil {
+		return err
+	}
+	return e.prepare(g, vddc, vssc, vwl, &h)
+}
+
+// prepare is the shared chunk computation behind Prepare and PrepareHybrid;
+// h == nil selects the single global flavor.
+func (e *Evaluator) prepare(g wire.Geometry, vddc, vssc, vwl float64, h *Hybrid) error {
 	e.prepared = false
 
 	t := e.tech
@@ -202,9 +255,28 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 		b.DWLRead, b.EWLRead = component(cWL, t.Vdd, t.Vdd, coefWLrd*driveFins*p.IONPfet())
 		b.DWLWrite, b.EWLWrite = component(cWL, t.Vdd, vwl, coefWLwr*driveFins*p.IWL(vwl))
 	}
-	iRead := t.IRead(vddc, vssc)
-	if iRead <= 0 {
-		return fmt.Errorf("array: non-positive read current %g at VDDC=%g VSSC=%g", iRead, vddc, vssc)
+	e.hGroups, e.hMask = 0, 0
+	var iRead float64
+	if h == nil {
+		iRead = t.IRead(vddc, vssc)
+		if iRead <= 0 {
+			return fmt.Errorf("array: non-positive read current %g at VDDC=%g VSSC=%g", iRead, vddc, vssc)
+		}
+	} else {
+		for gi := 0; gi < h.Groups; gi++ {
+			ir := t.IRead
+			if h.Mask>>uint(gi)&1 == 1 {
+				ir = h.Alt.IRead
+			}
+			v := ir(vddc, vssc)
+			if v <= 0 {
+				return fmt.Errorf("array: non-positive read current %g at VDDC=%g VSSC=%g (group %d)", v, vddc, vssc, gi)
+			}
+			e.hIRead[gi] = v
+		}
+		// The far group sees the full bitline; its current feeds the shared
+		// component call, which the hybrid max in EvalInto then refines.
+		iRead = e.hIRead[h.Groups-1]
 	}
 
 	// --- Peripheral blocks ---
@@ -221,6 +293,22 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 	b.DSenseAmp, b.ESenseAmp = p.SADelay, p.SAEnergy
 	b.DWriteCell = t.WriteDelayCell(vwl)
 	b.EWriteCell = t.WriteEnergyCell
+	if h != nil {
+		full := uint32(1)<<uint(h.Groups) - 1
+		switch {
+		case h.Mask == 0:
+			// Uniform base flavor: already exact.
+		case h.Mask == full:
+			b.DWriteCell = h.Alt.WriteDelayCell(vwl)
+			b.EWriteCell = h.Alt.WriteEnergyCell
+		default:
+			// Mixed: the slower flavor's write dominates the cell flip.
+			if ad := h.Alt.WriteDelayCell(vwl); ad > b.DWriteCell {
+				b.DWriteCell = ad
+				b.EWriteCell = h.Alt.WriteEnergyCell
+			}
+		}
+	}
 
 	// --- Per-point builders (Table 1 factorization) ---
 	e.muxed = g.Muxed()
@@ -236,6 +324,31 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 	e.iTG = p.IONTG()
 	e.ionP = p.IONPfet()
 
+	// --- Output mux (sense-amp sharing) ---
+	m := g.MuxRatio()
+	e.muxRatio = m
+	e.blMuxCd = 0
+	if m > 1 {
+		e.blMuxCd = float64(m) * e.sumCd
+	}
+	cMuxSel := wire.MuxSel(g, t.Caps)
+	b.DMuxSel, b.EMuxSel = component(cMuxSel, t.Vdd, t.Vdd, coefCOL*driveFins*p.IONPfet())
+	e.dMuxExtra, e.eMuxExtra = b.DMuxSel, b.EMuxSel
+
+	// --- Layout area (wire.Area factorization) ---
+	e.area0 = wire.AreaBase(g)
+	e.areaPre = wire.AreaPreUnit(g)
+	e.areaWr = wire.AreaWrUnit(g)
+
+	// --- Hybrid per-group effective bitline capacitances ---
+	if h != nil {
+		e.hGroups, e.hMask = h.Groups, h.Mask
+		for gi := 0; gi < h.Groups-1; gi++ {
+			e.hBLFix[gi] = e.blFixed * (float64(gi+1) / float64(h.Groups))
+		}
+		e.hBLFix[h.Groups-1] = e.blFixed
+	}
+
 	// --- Partial Table-3 sums (prefixes of Evaluate's left-associative
 	// chains, so completing them per point reproduces the full sums
 	// bit-for-bit) ---
@@ -249,6 +362,10 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 	e.allCols = t.Accounting == AllColumns
 	if e.allCols {
 		blRdMult, preRdMult, saMult, wrMult = activeCols, activeCols, w, w
+		if m > 1 {
+			// Shared sense amps: only W/m amps fire per access.
+			saMult = w / float64(m)
+		}
 	}
 	e.blRdMult, e.preRdMult, e.wrMult = blRdMult, preRdMult, wrMult
 	e.wMult = w
@@ -261,6 +378,26 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 	e.wrCellE = wrMult * b.EWriteCell
 
 	e.leakCoef = float64(g.Bits()) * t.LeakCell
+	if h != nil {
+		full := uint32(1)<<uint(h.Groups) - 1
+		switch h.Mask {
+		case 0:
+			// Uniform base flavor: the single multiply above is already exact.
+		case full:
+			e.leakCoef = float64(g.Bits()) * h.Alt.LeakCell
+		default:
+			perGroup := float64(g.Bits() / h.Groups)
+			sum := 0.0
+			for gi := 0; gi < h.Groups; gi++ {
+				lk := t.LeakCell
+				if h.Mask>>uint(gi)&1 == 1 {
+					lk = h.Alt.LeakCell
+				}
+				sum += perGroup * lk
+			}
+			e.leakCoef = sum
+		}
+	}
 
 	// Rails must settle before WL reaches 50% (§4) — invariant, as neither
 	// the rail components nor the WL path depend on N_pre or N_wr.
@@ -269,11 +406,28 @@ func (e *Evaluator) Prepare(g wire.Geometry, vddc, vssc, vwl float64) error {
 
 	e.parts = b
 	e.soaN = 0 // the SoA lanes belong to the previous chunk
-	e.nr, e.nc, e.w, e.segs = g.NR, g.NC, g.W, g.WLSegs
+	e.nr, e.nc, e.w, e.segs, e.mux = g.NR, g.NC, g.W, g.WLSegs, g.Mux
 	e.vddc, e.vssc, e.vwl = vddc, vssc, vwl
 	e.geom = g
 	e.prepared = true
 	return nil
+}
+
+// hybridBLDelay returns the read bitline delay of a hybrid chunk: the worst
+// group, each seeing the bitline wire and drains up to its own rows plus the
+// full per-point (precharger, write-buffer, mux) drain terms. The far group
+// uses cBL verbatim, so a uniform mask reproduces the global-flavor
+// component delay bit-identically.
+func (e *Evaluator) hybridBLDelay(cBL float64) float64 {
+	last := e.hGroups - 1
+	d := cBL * e.deltaVS / e.hIRead[last]
+	for gi := 0; gi < last; gi++ {
+		ce := (cBL - e.blFixed) + e.hBLFix[gi]
+		if dg := ce * e.deltaVS / e.hIRead[gi]; dg > d {
+			d = dg
+		}
+	}
+	return d
 }
 
 // Eval evaluates one (N_pre, N_wr) point of the prepared chunk, allocating
@@ -303,19 +457,23 @@ func (e *Evaluator) EvalInto(npre, nwr int, res *Result) error {
 	b := e.parts
 	fnwr := float64(nwr)
 
-	// --- Table 1, per-point: BL and COL (wire.BL / wire.COL op order) ---
+	// --- Table 1, per-point: BL and COL (wire.BL / wire.COL op order; the
+	// mux drain term is an exact zero add in the degenerate organization) ---
 	blBase := e.blFixed + float64(npre+1)*e.cdp
 	var cBL, cCOL float64
 	if e.muxed {
-		cBL = blBase + 2*fnwr*e.sumCd
+		cBL = blBase + 2*fnwr*e.sumCd + e.blMuxCd
 		cCOL = e.colBase + e.colW*fnwr*e.sumCg
 	} else {
-		cBL = blBase + fnwr*e.sumCd + e.cdp
+		cBL = blBase + fnwr*e.sumCd + e.cdp + e.blMuxCd
 	}
 
 	// --- Table 2, per-point components (Evaluate's order) ---
 	b.DCOL, b.ECOL = component(cCOL, e.vdd, e.vdd, e.iCol)
 	b.DBLRead, b.EBLRead = component(cBL, e.dvBLRd, e.deltaVS, e.iRead)
+	if e.hGroups > 1 {
+		b.DBLRead = e.hybridBLDelay(cBL)
+	}
 	b.DBLWrite, b.EBLWrite = component(cBL, e.vdd, e.vdd, coefBLwr*fnwr*e.iTG)
 	iPre := coefPRE * float64(npre) * e.ionP
 	b.DPreRead, b.EPreRead = component(cBL, e.vdd, e.deltaVS, iPre)
@@ -324,7 +482,7 @@ func (e *Evaluator) EvalInto(npre, nwr int, res *Result) error {
 	// --- Table 3 delays ---
 	readRow := e.dReadRow + b.DBLRead
 	readCol := e.dColBase + b.DCOL
-	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead + e.dMuxExtra
 
 	writeCol := e.dColBase + b.DCOL + b.DBLWrite
 	dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + b.DPreWrite
@@ -337,20 +495,23 @@ func (e *Evaluator) EvalInto(npre, nwr int, res *Result) error {
 	eRead := e.eReadBase + e.blRdMult*b.EBLRead +
 		b.EColDec + b.EColDrv + b.ECOL +
 		e.saE + e.preRdMult*b.EPreRead +
-		e.railE
+		e.railE + e.eMuxExtra
 	eWrite := e.eWriteBase + b.ECOL +
 		e.wrMult*b.EBLWrite + e.wrCellE + preWrE
 
-	// --- Eqs. (2)-(5) ---
+	// --- Eqs. (2)-(5), area and the products ---
 	dArray := math.Max(dRead, dWrite)
 	eSw := e.beta*eRead + e.oneMinusBeta*eWrite
 	eLeak := e.leakCoef * dArray
 	eArray := e.alpha*eSw + eLeak
+	edp := eArray * dArray
+	area := (e.area0 + float64(npre)*e.areaPre) + float64(nwr)*e.areaWr
 
 	g := e.geom
 	g.Npre, g.Nwr = npre, nwr
 	*res = Result{
-		Design:            Design{Geom: g, VDDC: e.vddc, VSSC: e.vssc, VWL: e.vwl},
+		Design: Design{Geom: g, VDDC: e.vddc, VSSC: e.vssc, VWL: e.vwl,
+			Groups: e.hGroups, GroupMask: e.hMask},
 		Activity:          e.act,
 		DRead:             dRead,
 		DWrite:            dWrite,
@@ -360,7 +521,9 @@ func (e *Evaluator) EvalInto(npre, nwr int, res *Result) error {
 		ESw:               eSw,
 		ELeak:             eLeak,
 		EArray:            eArray,
-		EDP:               eArray * dArray,
+		EDP:               edp,
+		Area:              area,
+		PADP:              edp * area,
 		RailsSettleInTime: e.settles,
 		Parts:             b,
 	}

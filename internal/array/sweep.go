@@ -14,6 +14,8 @@ type SweepBlock struct {
 	DArray []float64
 	EArray []float64
 	EDP    []float64
+	Area   []float64
+	PADP   []float64
 }
 
 // grow resizes the block to n entries, reusing capacity.
@@ -22,11 +24,15 @@ func (s *SweepBlock) grow(n int) {
 		s.DArray = make([]float64, n)
 		s.EArray = make([]float64, n)
 		s.EDP = make([]float64, n)
+		s.Area = make([]float64, n)
+		s.PADP = make([]float64, n)
 		return
 	}
 	s.DArray = s.DArray[:n]
 	s.EArray = s.EArray[:n]
 	s.EDP = s.EDP[:n]
+	s.Area = s.Area[:n]
+	s.PADP = s.PADP[:n]
 }
 
 // ensureSoA fills the chunk-invariant per-N_wr arrays up to n entries
@@ -89,6 +95,7 @@ func (e *Evaluator) EvalSweep(npre, nwrLo, nwrHi int, out *SweepBlock) error {
 	// Row-invariant per-point terms (exact EvalInto expressions).
 	blBase := e.blFixed + float64(npre+1)*e.cdp
 	iPre := coefPRE * float64(npre) * e.ionP
+	areaRow := e.area0 + float64(npre)*e.areaPre
 	// The non-muxed bitline adds one shared-precharger drain on top of the
 	// N_wr term; adding a literal zero in the muxed case keeps the loop
 	// branch-free without perturbing the value (cBL > 0).
@@ -101,6 +108,7 @@ func (e *Evaluator) EvalSweep(npre, nwrLo, nwrHi int, out *SweepBlock) error {
 	saD, wcD := e.parts.DSenseAmp, e.parts.DWriteCell
 	colDecE, colDrvE := e.parts.EColDec, e.parts.EColDrv
 	allCols := e.allCols
+	hybrid := e.hGroups > 1
 
 	bl := e.soaBL[nwrLo-1 : nwrHi]
 	dcol := e.soaDCOL[nwrLo-1 : nwrHi]
@@ -109,20 +117,25 @@ func (e *Evaluator) EvalSweep(npre, nwrLo, nwrHi int, out *SweepBlock) error {
 	od := out.DArray[:n]
 	oe := out.EArray[:n]
 	op := out.EDP[:n]
+	oa := out.Area[:n]
+	oq := out.PADP[:n]
 	if len(bl) != n || len(dcol) != n || len(ecol) != n || len(iblw) != n {
 		return fmt.Errorf("array: EvalSweep: internal lane length mismatch")
 	}
 
 	for i := range od {
-		cBL := blBase + bl[i] + extra
+		cBL := blBase + bl[i] + extra + e.blMuxCd
 		dblr, eblr := component(cBL, dvBLRd, deltaVS, iRead)
+		if hybrid {
+			dblr = e.hybridBLDelay(cBL)
+		}
 		dblw, eblw := component(cBL, vdd, vdd, iblw[i])
 		dpr, epr := component(cBL, vdd, deltaVS, iPre)
 		dpw, epw := component(cBL, vdd, vdd, iPre)
 
 		readRow := e.dReadRow + dblr
 		readCol := e.dColBase + dcol[i]
-		dRead := math.Max(readRow, readCol) + saD + dpr
+		dRead := math.Max(readRow, readCol) + saD + dpr + e.dMuxExtra
 		writeCol := e.dColBase + dcol[i] + dblw
 		dWrite := math.Max(e.dWriteRow, writeCol) + wcD + dpw
 
@@ -133,7 +146,7 @@ func (e *Evaluator) EvalSweep(npre, nwrLo, nwrHi int, out *SweepBlock) error {
 		eRead := e.eReadBase + e.blRdMult*eblr +
 			colDecE + colDrvE + ecol[i] +
 			e.saE + e.preRdMult*epr +
-			e.railE
+			e.railE + e.eMuxExtra
 		eWrite := e.eWriteBase + ecol[i] +
 			e.wrMult*eblw + e.wrCellE + preWrE
 
@@ -141,9 +154,13 @@ func (e *Evaluator) EvalSweep(npre, nwrLo, nwrHi int, out *SweepBlock) error {
 		eSw := e.beta*eRead + e.oneMinusBeta*eWrite
 		eLeak := e.leakCoef * dArray
 		eArray := e.alpha*eSw + eLeak
+		edp := eArray * dArray
+		area := areaRow + float64(nwrLo+i)*e.areaWr
 		od[i] = dArray
 		oe[i] = eArray
-		op[i] = eArray * dArray
+		op[i] = edp
+		oa[i] = area
+		oq[i] = edp * area
 	}
 	return nil
 }
@@ -162,6 +179,7 @@ func (e *Evaluator) EvalNext(res *Result) error {
 	}
 	d := &res.Design
 	if d.Geom.NR != e.nr || d.Geom.NC != e.nc || d.Geom.W != e.w || d.Geom.WLSegs != e.segs ||
+		d.Geom.Mux != e.mux || d.Groups != e.hGroups || d.GroupMask != e.hMask ||
 		d.VDDC != e.vddc || d.VSSC != e.vssc || d.VWL != e.vwl {
 		return fmt.Errorf("array: EvalNext on a Result from a different chunk")
 	}
@@ -176,14 +194,17 @@ func (e *Evaluator) EvalNext(res *Result) error {
 	blBase := e.blFixed + float64(npre+1)*e.cdp
 	var cBL, cCOL float64
 	if e.muxed {
-		cBL = blBase + 2*fnwr*e.sumCd
+		cBL = blBase + 2*fnwr*e.sumCd + e.blMuxCd
 		cCOL = e.colBase + e.colW*fnwr*e.sumCg
 	} else {
-		cBL = blBase + fnwr*e.sumCd + e.cdp
+		cBL = blBase + fnwr*e.sumCd + e.cdp + e.blMuxCd
 	}
 
 	b.DCOL, b.ECOL = component(cCOL, e.vdd, e.vdd, e.iCol)
 	b.DBLRead, b.EBLRead = component(cBL, e.dvBLRd, e.deltaVS, e.iRead)
+	if e.hGroups > 1 {
+		b.DBLRead = e.hybridBLDelay(cBL)
+	}
 	b.DBLWrite, b.EBLWrite = component(cBL, e.vdd, e.vdd, coefBLwr*fnwr*e.iTG)
 	iPre := coefPRE * float64(npre) * e.ionP
 	b.DPreRead, b.EPreRead = component(cBL, e.vdd, e.deltaVS, iPre)
@@ -191,7 +212,7 @@ func (e *Evaluator) EvalNext(res *Result) error {
 
 	readRow := e.dReadRow + b.DBLRead
 	readCol := e.dColBase + b.DCOL
-	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+	dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead + e.dMuxExtra
 	writeCol := e.dColBase + b.DCOL + b.DBLWrite
 	dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + b.DPreWrite
 
@@ -202,7 +223,7 @@ func (e *Evaluator) EvalNext(res *Result) error {
 	eRead := e.eReadBase + e.blRdMult*b.EBLRead +
 		b.EColDec + b.EColDrv + b.ECOL +
 		e.saE + e.preRdMult*b.EPreRead +
-		e.railE
+		e.railE + e.eMuxExtra
 	eWrite := e.eWriteBase + b.ECOL +
 		e.wrMult*b.EBLWrite + e.wrCellE + preWrE
 
@@ -216,6 +237,8 @@ func (e *Evaluator) EvalNext(res *Result) error {
 	res.ELeak = eLeak
 	res.EArray = e.alpha*eSw + eLeak
 	res.EDP = res.EArray * dArray
+	res.Area = (e.area0 + float64(npre)*e.areaPre) + float64(nwr)*e.areaWr
+	res.PADP = res.EDP * res.Area
 	return nil
 }
 
@@ -249,33 +272,37 @@ func (e *Evaluator) EvalBlock(npres, nwrs []int, out []Result) error {
 
 	g := e.geom
 	lastNpre := -1
-	var blBase, iPre float64
+	var blBase, iPre, areaRow float64
 	for i := range npres {
 		npre, nwr := npres[i], nwrs[i]
 		if npre != lastNpre {
 			blBase = e.blFixed + float64(npre+1)*e.cdp
 			iPre = coefPRE * float64(npre) * e.ionP
+			areaRow = e.area0 + float64(npre)*e.areaPre
 			lastNpre = npre
 		}
 		b := e.parts
 		fnwr := float64(nwr)
 		var cBL, cCOL float64
 		if e.muxed {
-			cBL = blBase + 2*fnwr*e.sumCd
+			cBL = blBase + 2*fnwr*e.sumCd + e.blMuxCd
 			cCOL = e.colBase + e.colW*fnwr*e.sumCg
 		} else {
-			cBL = blBase + fnwr*e.sumCd + e.cdp
+			cBL = blBase + fnwr*e.sumCd + e.cdp + e.blMuxCd
 		}
 
 		b.DCOL, b.ECOL = component(cCOL, e.vdd, e.vdd, e.iCol)
 		b.DBLRead, b.EBLRead = component(cBL, e.dvBLRd, e.deltaVS, e.iRead)
+		if e.hGroups > 1 {
+			b.DBLRead = e.hybridBLDelay(cBL)
+		}
 		b.DBLWrite, b.EBLWrite = component(cBL, e.vdd, e.vdd, coefBLwr*fnwr*e.iTG)
 		b.DPreRead, b.EPreRead = component(cBL, e.vdd, e.deltaVS, iPre)
 		b.DPreWrite, b.EPreWrite = component(cBL, e.vdd, e.vdd, iPre)
 
 		readRow := e.dReadRow + b.DBLRead
 		readCol := e.dColBase + b.DCOL
-		dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead
+		dRead := math.Max(readRow, readCol) + b.DSenseAmp + b.DPreRead + e.dMuxExtra
 		writeCol := e.dColBase + b.DCOL + b.DBLWrite
 		dWrite := math.Max(e.dWriteRow, writeCol) + b.DWriteCell + b.DPreWrite
 
@@ -286,7 +313,7 @@ func (e *Evaluator) EvalBlock(npres, nwrs []int, out []Result) error {
 		eRead := e.eReadBase + e.blRdMult*b.EBLRead +
 			b.EColDec + b.EColDrv + b.ECOL +
 			e.saE + e.preRdMult*b.EPreRead +
-			e.railE
+			e.railE + e.eMuxExtra
 		eWrite := e.eWriteBase + b.ECOL +
 			e.wrMult*b.EBLWrite + e.wrCellE + preWrE
 
@@ -294,10 +321,13 @@ func (e *Evaluator) EvalBlock(npres, nwrs []int, out []Result) error {
 		eSw := e.beta*eRead + e.oneMinusBeta*eWrite
 		eLeak := e.leakCoef * dArray
 		eArray := e.alpha*eSw + eLeak
+		edp := eArray * dArray
+		area := areaRow + fnwr*e.areaWr
 
 		g.Npre, g.Nwr = npre, nwr
 		out[i] = Result{
-			Design:            Design{Geom: g, VDDC: e.vddc, VSSC: e.vssc, VWL: e.vwl},
+			Design: Design{Geom: g, VDDC: e.vddc, VSSC: e.vssc, VWL: e.vwl,
+				Groups: e.hGroups, GroupMask: e.hMask},
 			Activity:          e.act,
 			DRead:             dRead,
 			DWrite:            dWrite,
@@ -307,7 +337,9 @@ func (e *Evaluator) EvalBlock(npres, nwrs []int, out []Result) error {
 			ESw:               eSw,
 			ELeak:             eLeak,
 			EArray:            eArray,
-			EDP:               eArray * dArray,
+			EDP:               edp,
+			Area:              area,
+			PADP:              edp * area,
 			RailsSettleInTime: e.settles,
 			Parts:             b,
 		}

@@ -31,7 +31,10 @@ import (
 // reader never misparses a future layout. Version 2: response bodies carry
 // the branch-and-bound search stats (PrunedBound), so version-1 catalogs
 // would no longer be bit-identical to live fills and must be rebuilt.
-const Version = 2
+// Version 3: canonical request keys gained the hybrid-group and column-mux
+// dimensions (…|groups=N|mux=M) and response bodies carry Area/PADP, so
+// version-2 catalogs would miss every lookup and must be rebuilt.
+const Version = 3
 
 // magic opens every catalog file: format name plus version byte.
 var magic = [8]byte{'S', 'R', 'A', 'M', 'C', 'A', 'T', Version}

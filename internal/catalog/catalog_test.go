@@ -172,3 +172,22 @@ func TestWriteFileWorldReadable(t *testing.T) {
 		t.Errorf("catalog file mode = %04o, want 0644", perm)
 	}
 }
+
+// TestDecodeRejectsStaleVersion pins the format bump: the version byte is
+// part of the magic, so a version-2 image (built before the canonical keys
+// gained the hybrid-group and column-mux dimensions) must be rejected as a
+// whole rather than silently missing every lookup.
+func TestDecodeRejectsStaleVersion(t *testing.T) {
+	if Version != 3 {
+		t.Fatalf("Version = %d; this PR bumped the format to 3 — update the stale-version probe below", Version)
+	}
+	img := append([]byte(nil), buildTest(t, 4).data...)
+	img[7] = Version - 1
+	if _, err := Decode(img); err == nil {
+		t.Error("version-2 image accepted by a version-3 reader")
+	}
+	img[7] = Version + 1
+	if _, err := Decode(img); err == nil {
+		t.Error("future-version image accepted")
+	}
+}

@@ -55,6 +55,15 @@ func New(f device.Flavor) *Cell {
 	return &Cell{Lib: device.Default7nm(), Flavor: f}
 }
 
+// ForRegion returns a cell instance of flavor f sharing this cell's library
+// and per-transistor variation — the per-region characterization hook of a
+// hybrid array, where each row group may carry its own cell flavor.
+func (c *Cell) ForRegion(f device.Flavor) *Cell {
+	rc := *c
+	rc.Flavor = f
+	return &rc
+}
+
 // ReadBias is the rail condition during a read access (paper Fig. 4):
 // BLs precharged to Vdd, wordline at VWL (= Vdd unless WL underdrive is being
 // evaluated), cell rails at VDDC (boost) and VSSC (negative ground).

@@ -71,20 +71,28 @@ func (m *atomicMin) Publish(v float64) {
 // Load returns the current minimum (+Inf before any Publish).
 func (m *atomicMin) Load() float64 { return math.Float64frombits(m.bits.Load()) }
 
-// searchUnit is one (chunk, segmentation) rectangle of the bounded search: a
-// prepared Evaluator plus the lower bound over its full (N_pre, N_wr) range.
-// Invalid base geometries keep ev == nil and are charged to SkippedGeom.
+// searchUnit is one (chunk, segmentation, mux, group-mask) rectangle of the
+// bounded search: a prepared Evaluator plus the lower bound over its full
+// (N_pre, N_wr) range. Invalid base geometries keep ev == nil and are charged
+// to SkippedGeom; RSNM-infeasible mask classes set rsnmSkip and are charged
+// to SkippedRSNM, mirroring the unpruned path's in-loop counts.
 type searchUnit struct {
-	segs  int
-	valid bool
-	ev    *array.Evaluator
-	bound array.Bound
+	segs     int
+	mux      int
+	spec     maskSpec
+	valid    bool
+	rsnmSkip bool
+	ev       *array.Evaluator
+	bound    array.Bound
 }
 
 // bnbSearch carries the shared state of one bounded search run.
 type bnbSearch struct {
 	opts      *Options
-	vddc, vwl float64
+	specs     []maskSpec
+	alt       array.FlavorTerms
+	cc, altCC *CellChar
+	delta     float64
 	evProto   *array.Evaluator
 	chunks    []chunk
 	units     [][]searchUnit // aligned with chunks
@@ -94,6 +102,20 @@ type bnbSearch struct {
 	bestSoFar *atomicMin
 }
 
+// unitDesign materializes the Design identity of one point of a unit, with
+// the hybrid fields stamped exactly as the evaluator stamps its Results so
+// tie-break comparisons see identical values.
+func (s *bnbSearch) unitDesign(u *searchUnit, nr, nc, width, npre, nwr int, vssc float64) array.Design {
+	d := array.Design{
+		Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: u.segs, Mux: u.mux},
+		VDDC: u.spec.vddc, VSSC: vssc, VWL: u.spec.vwl,
+	}
+	if s.opts.hybridOn() {
+		d.Groups, d.GroupMask = s.opts.HybridGroups, u.spec.mask
+	}
+	return d
+}
+
 // objBound reads the lower bound matching the built-in objective.
 func (s *bnbSearch) objBound(b array.Bound) float64 {
 	switch s.kind {
@@ -101,6 +123,10 @@ func (s *bnbSearch) objBound(b array.Bound) float64 {
 		return b.DArray
 	case objEnergy:
 		return b.EArray
+	case objArea:
+		return b.Area
+	case objPADP:
+		return b.PADP
 	}
 	return b.EDP
 }
@@ -112,6 +138,10 @@ func (s *bnbSearch) objLane(sw *array.SweepBlock) []float64 {
 		return sw.DArray
 	case objEnergy:
 		return sw.EArray
+	case objArea:
+		return sw.Area
+	case objPADP:
+		return sw.PADP
 	}
 	return sw.EDP
 }
@@ -133,26 +163,44 @@ func (s *bnbSearch) boundPass(workers int) error {
 				c := s.chunks[ci]
 				width := accessWidth(s.opts.W, c.rc.nc)
 				segsList := segCandidates(s.opts, c.rc.nc, width)
-				us := make([]searchUnit, 0, len(segsList))
+				muxList := muxCandidates(s.opts.Space, width)
+				us := make([]searchUnit, 0, len(segsList)*len(muxList)*len(s.specs))
 				for _, segs := range segsList {
-					base := wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width, Npre: 1, Nwr: 1, WLSegs: segs}
-					if base.Validate() != nil {
-						us = append(us, searchUnit{segs: segs})
-						continue
+					for _, mux := range muxList {
+						base := wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width, Npre: 1, Nwr: 1, WLSegs: segs, Mux: mux}
+						if base.Validate() != nil || (s.opts.hybridOn() && c.rc.nr%s.opts.HybridGroups != 0) {
+							for _, sp := range s.specs {
+								us = append(us, searchUnit{segs: segs, mux: mux, spec: sp})
+							}
+							continue
+						}
+						for _, sp := range s.specs {
+							if !specRSNMOK(sp, c.vssc, s.cc, s.altCC, s.delta) {
+								us = append(us, searchUnit{segs: segs, mux: mux, spec: sp, rsnmSkip: true})
+								continue
+							}
+							ev := s.evProto.Clone()
+							var perr error
+							if s.opts.hybridOn() {
+								perr = ev.PrepareHybrid(base, sp.vddc, c.vssc, sp.vwl,
+									array.Hybrid{Groups: s.opts.HybridGroups, Mask: sp.mask, Alt: s.alt})
+							} else {
+								perr = ev.Prepare(base, sp.vddc, c.vssc, sp.vwl)
+							}
+							if perr != nil {
+								s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+									c.rc.nr, c.rc.nc, 1, 1, c.vssc, perr))
+								return
+							}
+							b, err := ev.BoundRect(1, s.opts.Space.NpreMax, 1, s.opts.Space.NwrMax)
+							if err != nil {
+								s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+									c.rc.nr, c.rc.nc, 1, 1, c.vssc, err))
+								return
+							}
+							us = append(us, searchUnit{segs: segs, mux: mux, spec: sp, valid: true, ev: ev, bound: b})
+						}
 					}
-					ev := s.evProto.Clone()
-					if err := ev.Prepare(base, s.vddc, c.vssc, s.vwl); err != nil {
-						s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
-							c.rc.nr, c.rc.nc, 1, 1, c.vssc, err))
-						return
-					}
-					b, err := ev.BoundRect(1, s.opts.Space.NpreMax, 1, s.opts.Space.NwrMax)
-					if err != nil {
-						s.cancel(fmt.Errorf("core: evaluating n_r=%d n_c=%d N_pre=%d N_wr=%d VSSC=%g: %w",
-							c.rc.nr, c.rc.nc, 1, 1, c.vssc, err))
-						return
-					}
-					us = append(us, searchUnit{segs: segs, valid: true, ev: ev, bound: b})
 				}
 				s.units[ci] = us
 			}
@@ -221,10 +269,15 @@ func (s *bnbSearch) processChunk(ci int, T float64, slot *bnbWorker) bool {
 	}
 
 	local := math.Inf(1) // chunk-local incumbent objective
-	for _, u := range s.units[ci] {
+	for ui := range s.units[ci] {
+		u := &s.units[ci][ui]
 		if s.sctx.Err() != nil {
 			endChunk(false)
 			return false
+		}
+		if u.rsnmSkip {
+			slot.stats.SkippedRSNM += pts
+			continue
 		}
 		if !u.valid {
 			slot.stats.SkippedGeom += pts
@@ -282,11 +335,7 @@ func (s *bnbSearch) processChunk(ci int, T float64, slot *bnbWorker) bool {
 					nwr := lo + i
 					win := slot.best == nil || v < slot.obj
 					if !win && v == slot.obj {
-						cand := array.Design{
-							Geom: wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width,
-								Npre: npre, Nwr: nwr, WLSegs: u.segs},
-							VDDC: s.vddc, VSSC: c.vssc, VWL: s.vwl,
-						}
+						cand := s.unitDesign(u, c.rc.nr, c.rc.nc, width, npre, nwr, c.vssc)
 						win = designLess(cand, slot.best.Design)
 					}
 					if win {
@@ -321,13 +370,14 @@ func (s *bnbSearch) processChunk(ci int, T float64, slot *bnbWorker) bool {
 // seed sweep → frozen-threshold parallel sweep → deterministic reduction.
 // It owns the run from after the run-span setup through the final Optimum.
 func (f *Framework) optimizeBounded(runSpan obs.Span, start time.Time, opts *Options,
-	stats SearchStats, chunks []chunk, workers int,
-	evProto *array.Evaluator, vddc, vwl float64, ctx context.Context) (*Optimum, error) {
+	stats SearchStats, chunks []chunk, workers int, evProto *array.Evaluator,
+	specs []maskSpec, alt array.FlavorTerms, cc, altCC *CellChar, ctx context.Context) (*Optimum, error) {
 
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	s := &bnbSearch{
-		opts: opts, vddc: vddc, vwl: vwl, evProto: evProto, chunks: chunks,
+		opts: opts, specs: specs, alt: alt, cc: cc, altCC: altCC, delta: f.Delta,
+		evProto: evProto, chunks: chunks,
 		kind: objectiveKind(opts.Objective), sctx: sctx, cancel: cancel,
 		bestSoFar: newAtomicMin(),
 	}
@@ -475,10 +525,15 @@ func (s *bnbSearch) processParetoChunk(ci int, f0 []DesignPoint, slot *bnbPareto
 		sp.End()
 	}
 
-	for _, u := range s.units[ci] {
+	for ui := range s.units[ci] {
+		u := &s.units[ci][ui]
 		if s.sctx.Err() != nil {
 			endChunk(false)
 			return false
+		}
+		if u.rsnmSkip {
+			slot.stats.SkippedRSNM += pts
+			continue
 		}
 		if !u.valid {
 			slot.stats.SkippedGeom += pts
@@ -524,11 +579,7 @@ func (s *bnbSearch) processParetoChunk(ci int, f0 []DesignPoint, slot *bnbPareto
 				for i := 0; i < hi-lo+1; i++ {
 					d, e := slot.sweep.DArray[i], slot.sweep.EArray[i]
 					nwr := lo + i
-					cand := array.Design{
-						Geom: wire.Geometry{NR: c.rc.nr, NC: c.rc.nc, W: width,
-							Npre: npre, Nwr: nwr, WLSegs: u.segs},
-						VDDC: s.vddc, VSSC: c.vssc, VWL: s.vwl,
-					}
+					cand := s.unitDesign(u, c.rc.nr, c.rc.nc, width, npre, nwr, c.vssc)
 					if !paretoWouldChange(slot.front, d, e, cand) {
 						continue
 					}
@@ -561,13 +612,14 @@ func (s *bnbSearch) processParetoChunk(ci int, f0 []DesignPoint, slot *bnbPareto
 // transitive through the bound), so the merged frontier is bit-identical to
 // the full enumeration's.
 func (f *Framework) paretoBounded(runSpan obs.Span, start time.Time, opts *Options,
-	stats SearchStats, chunks []chunk, workers int,
-	evProto *array.Evaluator, vddc, vwl float64, ctx context.Context) (*ParetoResult, error) {
+	stats SearchStats, chunks []chunk, workers int, evProto *array.Evaluator,
+	specs []maskSpec, alt array.FlavorTerms, cc, altCC *CellChar, ctx context.Context) (*ParetoResult, error) {
 
 	sctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
 	s := &bnbSearch{
-		opts: opts, vddc: vddc, vwl: vwl, evProto: evProto, chunks: chunks,
+		opts: opts, specs: specs, alt: alt, cc: cc, altCC: altCC, delta: f.Delta,
+		evProto: evProto, chunks: chunks,
 		kind: objEDP, sctx: sctx, cancel: cancel, bestSoFar: newAtomicMin(),
 	}
 

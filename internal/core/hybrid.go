@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sramco/internal/array"
+	"sramco/internal/device"
+)
+
+// maskSpec is one hybrid group-assignment class of a search: the group mask
+// plus everything that depends only on which flavors are present — the
+// pinned rails and the per-flavor read-stability needs. A global-flavor
+// search has exactly one spec, the all-clear mask with the base flavor's
+// rails, so the degenerate search walks literally the same (rails, mask)
+// unit the pre-hybrid engine did.
+type maskSpec struct {
+	mask      uint32
+	vddc, vwl float64
+	needBase  bool // base flavor populates at least one group
+	needAlt   bool // alternate flavor populates at least one group
+}
+
+// otherFlavor returns the hybrid search's alternate flavor.
+func otherFlavor(fl device.Flavor) device.Flavor { return fl.Other() }
+
+// altTerms assembles the alternate flavor's cell terms for the evaluator.
+func altTerms(cc *CellChar) array.FlavorTerms {
+	return array.FlavorTerms{
+		LeakCell:        cc.Leak,
+		IRead:           cc.IRead,
+		WriteDelayCell:  cc.WriteDelay,
+		WriteEnergyCell: cc.WriteEnergy,
+	}
+}
+
+// maskSpecs enumerates the group-assignment classes of a search in
+// deterministic mask order (0 … 2^G−1), together with the alternate
+// flavor's terms and characterization (nil for a global-flavor search).
+//
+// Rails per class: a pure mask keeps its own flavor's starred rails exactly
+// (so pure-mask hybrid units are bit-compatible with the pure searches); a
+// mixed mask must satisfy both flavors' yield stars simultaneously, so each
+// shared rail takes the per-rail max (under M1 the single extra rail is the
+// max of all four stars, which the per-flavor M1 rails already encode).
+func (f *Framework) maskSpecs(opts *Options) ([]maskSpec, array.FlavorTerms, *CellChar, error) {
+	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
+	if err != nil {
+		return nil, array.FlavorTerms{}, nil, err
+	}
+	if !opts.hybridOn() {
+		return []maskSpec{{mask: 0, vddc: vddc, vwl: vwl, needBase: true}}, array.FlavorTerms{}, nil, nil
+	}
+	alt := otherFlavor(opts.Flavor)
+	altCC, ok := f.Cells[alt]
+	if !ok {
+		return nil, array.FlavorTerms{}, nil, fmt.Errorf("core: hybrid alternate flavor %v not characterized", alt)
+	}
+	altVDDC, altVWL, err := f.Rails(alt, opts.Method)
+	if err != nil {
+		return nil, array.FlavorTerms{}, nil, err
+	}
+	mixVDDC, mixVWL := math.Max(vddc, altVDDC), math.Max(vwl, altVWL)
+	full := uint32(1)<<uint(opts.HybridGroups) - 1
+	specs := make([]maskSpec, 0, full+1)
+	for mask := uint32(0); mask <= full; mask++ {
+		s := maskSpec{mask: mask, needBase: mask != full, needAlt: mask != 0}
+		switch mask {
+		case 0:
+			s.vddc, s.vwl = vddc, vwl
+		case full:
+			s.vddc, s.vwl = altVDDC, altVWL
+		default:
+			s.vddc, s.vwl = mixVDDC, mixVWL
+		}
+		specs = append(specs, s)
+	}
+	return specs, altTerms(altCC), altCC, nil
+}
+
+// HybridAltTerms returns the evaluator cell terms of base's hybrid alternate
+// flavor, for evaluating an explicit hybrid design point outside a search.
+func (f *Framework) HybridAltTerms(base device.Flavor) (array.FlavorTerms, error) {
+	alt := otherFlavor(base)
+	altCC, ok := f.Cells[alt]
+	if !ok {
+		return array.FlavorTerms{}, fmt.Errorf("core: hybrid alternate flavor %v not characterized", alt)
+	}
+	return altTerms(altCC), nil
+}
+
+// specRSNMOK reports whether every flavor present in the class meets the
+// read-stability constraint at the VSSC level (each flavor is judged by its
+// own characterization, as in the pure searches; altCC may be nil when the
+// class never needs it).
+func specRSNMOK(s maskSpec, vssc float64, baseCC, altCC *CellChar, delta float64) bool {
+	if s.needBase && baseCC.RSNMAt(vssc) < delta-1e-9 {
+		return false
+	}
+	if s.needAlt && altCC.RSNMAt(vssc) < delta-1e-9 {
+		return false
+	}
+	return true
+}
+
+// muxCandidates enumerates the sense-amp sharing ratios searched for one
+// access width: the unshared organization first (encoded 0, the
+// wire.Geometry zero value, so degenerate designs serialize unchanged),
+// then powers of two up to min(MuxMax, width).
+func muxCandidates(s SearchSpace, width int) []int {
+	out := []int{0}
+	for m := 2; m <= s.MuxMax && m <= width; m *= 2 {
+		out = append(out, m)
+	}
+	return out
+}

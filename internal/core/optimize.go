@@ -55,6 +55,12 @@ type SearchSpace struct {
 	NCMax    int     // max columns (default 1024, the rail-driver sizing limit)
 	NpreMax  int     // max precharger fins (default 50)
 	NwrMax   int     // max write-buffer fins (default 20)
+
+	// MuxMax enables the sense-amp sharing dimension: mux ratios
+	// 2, 4, …, min(MuxMax, W) are searched alongside the unshared
+	// organization. ≤ 1 (including the zero value) searches only the
+	// paper's one-amp-per-bit organization.
+	MuxMax int
 }
 
 // DefaultSpace returns the paper's §5 variable ranges.
@@ -70,13 +76,15 @@ var (
 	ObjectiveEDP    Objective = func(r *array.Result) float64 { return r.EDP }
 	ObjectiveDelay  Objective = func(r *array.Result) float64 { return r.DArray }
 	ObjectiveEnergy Objective = func(r *array.Result) float64 { return r.EArray }
+	ObjectiveArea   Objective = func(r *array.Result) float64 { return r.Area }
+	ObjectivePADP   Objective = func(r *array.Result) float64 { return r.PADP }
 )
 
 // ObjectiveByName maps the canonical objective names ("edp", "delay",
-// "energy") to the built-in objectives. Objectives are functions and so
-// cannot appear in a serialized request; callers that key caches on a
-// request pass the name through this table and keep the name as the
-// canonical form.
+// "energy", "area", "padp") to the built-in objectives. Objectives are
+// functions and so cannot appear in a serialized request; callers that key
+// caches on a request pass the name through this table and keep the name as
+// the canonical form.
 func ObjectiveByName(name string) (Objective, bool) {
 	switch strings.ToLower(name) {
 	case "", "edp":
@@ -85,6 +93,10 @@ func ObjectiveByName(name string) (Objective, bool) {
 		return ObjectiveDelay, true
 	case "energy":
 		return ObjectiveEnergy, true
+	case "area":
+		return ObjectiveArea, true
+	case "padp":
+		return ObjectivePADP, true
 	}
 	return nil, false
 }
@@ -100,6 +112,8 @@ const (
 	objEDP
 	objDelay
 	objEnergy
+	objArea
+	objPADP
 )
 
 func objectiveKind(o Objective) objKind {
@@ -110,6 +124,10 @@ func objectiveKind(o Objective) objKind {
 		return objDelay
 	case reflect.ValueOf(ObjectiveEnergy).Pointer():
 		return objEnergy
+	case reflect.ValueOf(ObjectiveArea).Pointer():
+		return objArea
+	case reflect.ValueOf(ObjectivePADP).Pointer():
+		return objPADP
 	}
 	return objCustom
 }
@@ -124,6 +142,15 @@ type Options struct {
 	W         int            // access width in bits; 0 selects 64
 	Space     SearchSpace    // zero value selects DefaultSpace
 	Objective Objective      // nil selects EDP
+
+	// HybridGroups enables the hybrid cell-assignment dimension: the rows
+	// are split into this many contiguous groups (ordered from the
+	// sense-amp end) and every per-group assignment of the two
+	// characterized flavors is searched, Options.Flavor acting as the base
+	// flavor of the all-clear mask. Must be 0 (off), 1 (explicitly the
+	// single global flavor, identical to 0) or a power of two ≤
+	// array.MaxGroups. Only the exhaustive searcher supports it.
+	HybridGroups int
 
 	// SearchWLSegs additionally searches divided-wordline segmentation
 	// (1/2/4/8 segments) — an architecture extension beyond the paper's
@@ -168,11 +195,24 @@ func (o *Options) normalize() error {
 	if o.Space == (SearchSpace{}) {
 		o.Space = DefaultSpace()
 	}
+	if o.Space.MuxMax < 0 {
+		return fmt.Errorf("core: MuxMax %d must be ≥ 0", o.Space.MuxMax)
+	}
+	if m := o.Space.MuxMax; m > 1 && m&(m-1) != 0 {
+		return fmt.Errorf("core: MuxMax %d must be a power of two", m)
+	}
+	if g := o.HybridGroups; g < 0 || g > array.MaxGroups || (g > 1 && g&(g-1) != 0) {
+		return fmt.Errorf("core: HybridGroups %d must be 0, 1 or a power of two ≤ %d", g, array.MaxGroups)
+	}
 	if o.Objective == nil {
 		o.Objective = ObjectiveEDP
 	}
 	return nil
 }
+
+// hybridOn reports whether the options select a real hybrid search (two or
+// more row groups); 0 and 1 both mean the single global flavor.
+func (o *Options) hybridOn() bool { return o.HybridGroups > 1 }
 
 // DesignPoint pairs a design with its evaluation.
 type DesignPoint struct {
@@ -237,6 +277,9 @@ func (f *Framework) GreedyOptimizeContext(ctx context.Context, opts Options) (*O
 	start := time.Now()
 	if err := opts.normalize(); err != nil {
 		return nil, err
+	}
+	if opts.hybridOn() {
+		return nil, fmt.Errorf("core: greedy search does not support hybrid groups (HybridGroups=%d)", opts.HybridGroups)
 	}
 	tech, err := f.ArrayTech(opts.Flavor)
 	if err != nil {

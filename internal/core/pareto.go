@@ -69,11 +69,17 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 		return nil, err
 	}
 	cc := f.Cells[opts.Flavor]
-	vddc, vwl, err := f.Rails(opts.Flavor, opts.Method)
+	specs, alt, altCC, err := f.maskSpecs(&opts)
 	if err != nil {
 		return nil, err
 	}
+	if altCC != nil && altCC.HSNM < f.Delta {
+		return nil, fmt.Errorf("core: 6T-%v HSNM %.3f below δ=%.3f at Vdd=%.3f", altCC.Flavor, altCC.HSNM, f.Delta, f.Vdd)
+	}
 	eval := opts.evalHook
+	if eval != nil && opts.hybridOn() {
+		return nil, fmt.Errorf("core: hybrid groups are not supported with an eval hook")
+	}
 	var evProto *array.Evaluator
 	if eval == nil {
 		evProto, err = array.NewEvaluator(tech, opts.Activity)
@@ -87,9 +93,18 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 		return nil, fmt.Errorf("core: %w: no feasible organization for %d bits", ErrInfeasible, opts.CapacityBits)
 	}
 	var stats SearchStats
+	// Prune a VSSC level only when every group-assignment class fails the
+	// read-stability constraint, as in OptimizeContext.
 	var feasVSSC []float64
 	for _, v := range vsscCandidates(opts.Method, opts.Space) {
-		if cc.RSNMAt(v) < f.Delta-1e-9 {
+		anyOK := false
+		for _, s := range specs {
+			if specRSNMOK(s, v, cc, altCC, f.Delta) {
+				anyOK = true
+				break
+			}
+		}
+		if !anyOK {
 			stats.PrunedVSSC++
 			continue
 		}
@@ -130,7 +145,7 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 	// pruned without evaluation; the merged front is bit-identical to the
 	// full enumeration's (DESIGN.md §11).
 	if eval == nil && !opts.DisableBounds {
-		return f.paretoBounded(runSpan, start, &opts, stats, chunks, workers, evProto, vddc, vwl, ctx)
+		return f.paretoBounded(runSpan, start, &opts, stats, chunks, workers, evProto, specs, alt, cc, altCC, ctx)
 	}
 
 	sctx, cancel := context.WithCancelCause(ctx)
@@ -179,64 +194,82 @@ func (f *Framework) ParetoSearchContext(ctx context.Context, opts Options) (*Par
 				}
 				nr, nc := c.rc.nr, c.rc.nc
 				width := accessWidth(opts.W, nc)
+				pts := opts.Space.NpreMax * opts.Space.NwrMax
 				for _, segs := range segCandidates(&opts, nc, width) {
-					if ev != nil {
-						base := wire.Geometry{NR: nr, NC: nc, W: width, Npre: 1, Nwr: 1, WLSegs: segs}
-						if base.Validate() != nil {
-							slot.stats.SkippedGeom += opts.Space.NpreMax * opts.Space.NwrMax
-							continue
-						}
-						if err := ev.Prepare(base, vddc, c.vssc, vwl); err != nil {
-							cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
-								nr, 1, 1, c.vssc, err))
-							endChunk(false)
-							return
-						}
-					}
-					for npre := 1; npre <= opts.Space.NpreMax; npre++ {
-						if sctx.Err() != nil {
-							endChunk(false)
-							return
-						}
-						for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
-							var r *array.Result
-							var d array.Design
-							if ev != nil {
-								if err := ev.EvalInto(npre, nwr, &scratch); err != nil {
-									cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
-										nr, npre, nwr, c.vssc, err))
-									endChunk(false)
-									return
-								}
-								r, d = &scratch, scratch.Design
-							} else {
-								d = array.Design{
-									Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs},
-									VDDC: vddc, VSSC: c.vssc, VWL: vwl,
-								}
-								if d.Geom.Validate() != nil {
-									slot.stats.SkippedGeom++
-									continue
-								}
-								var err error
-								r, err = eval(tech, d, opts.Activity)
-								if err != nil {
-									cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
-										nr, npre, nwr, c.vssc, err))
-									endChunk(false)
-									return
-								}
-							}
-							slot.stats.Evaluated++
-							if !r.RailsSettleInTime {
-								slot.stats.SkippedRails++
+					for _, mux := range muxCandidates(opts.Space, width) {
+						base := wire.Geometry{NR: nr, NC: nc, W: width, Npre: 1, Nwr: 1, WLSegs: segs, Mux: mux}
+						if ev != nil {
+							if base.Validate() != nil || (opts.hybridOn() && nr%opts.HybridGroups != 0) {
+								slot.stats.SkippedGeom += pts * len(specs)
 								continue
 							}
-							rc := *r
-							slot.front = insertPareto(slot.front, DesignPoint{Design: d, Result: &rc})
 						}
-						mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
-						flushed = slot.stats.Evaluated
+						for _, s := range specs {
+							if !specRSNMOK(s, c.vssc, cc, altCC, f.Delta) {
+								slot.stats.SkippedRSNM += pts
+								continue
+							}
+							if ev != nil {
+								var perr error
+								if opts.hybridOn() {
+									perr = ev.PrepareHybrid(base, s.vddc, c.vssc, s.vwl,
+										array.Hybrid{Groups: opts.HybridGroups, Mask: s.mask, Alt: alt})
+								} else {
+									perr = ev.Prepare(base, s.vddc, c.vssc, s.vwl)
+								}
+								if perr != nil {
+									cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+										nr, 1, 1, c.vssc, perr))
+									endChunk(false)
+									return
+								}
+							}
+							for npre := 1; npre <= opts.Space.NpreMax; npre++ {
+								if sctx.Err() != nil {
+									endChunk(false)
+									return
+								}
+								for nwr := 1; nwr <= opts.Space.NwrMax; nwr++ {
+									var r *array.Result
+									var d array.Design
+									if ev != nil {
+										if err := ev.EvalInto(npre, nwr, &scratch); err != nil {
+											cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+												nr, npre, nwr, c.vssc, err))
+											endChunk(false)
+											return
+										}
+										r, d = &scratch, scratch.Design
+									} else {
+										d = array.Design{
+											Geom: wire.Geometry{NR: nr, NC: nc, W: width, Npre: npre, Nwr: nwr, WLSegs: segs, Mux: mux},
+											VDDC: s.vddc, VSSC: c.vssc, VWL: s.vwl,
+										}
+										if d.Geom.Validate() != nil {
+											slot.stats.SkippedGeom++
+											continue
+										}
+										var err error
+										r, err = eval(tech, d, opts.Activity)
+										if err != nil {
+											cancel(fmt.Errorf("core: pareto evaluating n_r=%d N_pre=%d N_wr=%d VSSC=%g: %w",
+												nr, npre, nwr, c.vssc, err))
+											endChunk(false)
+											return
+										}
+									}
+									slot.stats.Evaluated++
+									if !r.RailsSettleInTime {
+										slot.stats.SkippedRails++
+										continue
+									}
+									rc := *r
+									slot.front = insertPareto(slot.front, DesignPoint{Design: d, Result: &rc})
+								}
+								mSearchEvaluated.Add(int64(slot.stats.Evaluated - flushed))
+								flushed = slot.stats.Evaluated
+							}
+						}
 					}
 				}
 				endChunk(true)

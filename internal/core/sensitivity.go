@@ -35,6 +35,11 @@ func (f *Framework) SensitivityAt(opts Options, at DesignPoint) ([]Sensitivity, 
 	if !ok {
 		return nil, fmt.Errorf("core: flavor %v not characterized", opts.Flavor)
 	}
+	if opts.hybridOn() || at.Design.Groups != 0 {
+		// The neighborhood evaluator prepares a single-flavor chunk; a hybrid
+		// point would silently evaluate under the wrong cell model.
+		return nil, fmt.Errorf("core: sensitivity analysis does not support hybrid designs")
+	}
 	base := opts.Objective(at.Result)
 	if base <= 0 {
 		return nil, fmt.Errorf("core: non-positive base objective %g", base)

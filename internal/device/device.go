@@ -58,6 +58,15 @@ func (f Flavor) String() string {
 	return "LVT"
 }
 
+// Other returns the complementary flavor — the alternate a hybrid
+// (per-row-group) organization assigns to the regions its group mask selects.
+func (f Flavor) Other() Flavor {
+	if f == LVT {
+		return HVT
+	}
+	return LVT
+}
+
 // ParseFlavor parses a flavor name ("lvt" or "hvt", case-insensitive) — the
 // inverse of String. It is the single parser shared by the CLIs and the
 // serving layer, so the canonical string forms used in cache keys cannot

@@ -183,6 +183,11 @@ func (e *batchEvaluator) eval(flavor sramco.Flavor, d sramco.Design, act sramco.
 	if e.hook != nil {
 		e.hook()
 	}
+	if d.Groups != 0 {
+		// Hybrid designs carry per-group cell state a shared single-flavor
+		// Evaluator cannot memoize; evaluate them standalone.
+		return e.fw.Evaluate(flavor, d, act)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	k := batchEvalKey{flavor: flavor, alpha: act.Alpha, beta: act.Beta}

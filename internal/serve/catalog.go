@@ -28,17 +28,20 @@ type CatalogGrid struct {
 	Methods         []string
 	Objectives      []string
 	Pareto          bool
+	// Groups lists additional hybrid group counts to precompute per
+	// objective cell (the single-flavor search, groups=0, is always built).
+	Groups []int
 }
 
 // DefaultCatalogGrid covers the paper's standard design space: 1–16 KB
-// arrays for both flavors, both assist methods and every objective — 60
+// arrays for both flavors, both assist methods and every objective — 100
 // optimize entries plus 20 Pareto fronts.
 func DefaultCatalogGrid() CatalogGrid {
 	return CatalogGrid{
 		CapacitiesBytes: []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
 		Flavors:         []string{"lvt", "hvt"},
 		Methods:         []string{"m1", "m2"},
-		Objectives:      []string{"edp", "delay", "energy"},
+		Objectives:      []string{"edp", "delay", "energy", "area", "padp"},
 		Pareto:          true,
 	}
 }
@@ -85,22 +88,24 @@ func (s *Server) BuildCatalog(ctx context.Context, grid CatalogGrid) (*catalog.C
 		for _, flavor := range grid.Flavors {
 			for _, method := range grid.Methods {
 				for _, obj := range grid.Objectives {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-					req := OptimizeRequest{CapacityBytes: capBytes, Flavor: flavor, Method: method, Objective: obj}
-					if aerr := req.normalize(); aerr != nil {
-						return nil, fmt.Errorf("serve: catalog grid cell invalid: %s", aerr.Message)
-					}
-					v, err := s.optimizeResult(ctx, req)
-					if errors.Is(err, sramco.ErrInfeasible) {
-						continue
-					}
-					if err != nil {
-						return nil, fmt.Errorf("serve: catalog fill %s: %w", req.key("optimize"), err)
-					}
-					if err := add(req.key("optimize"), v); err != nil {
-						return nil, err
+					for _, groups := range append([]int{0}, grid.Groups...) {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						req := OptimizeRequest{CapacityBytes: capBytes, Flavor: flavor, Method: method, Objective: obj, Groups: groups}
+						if aerr := req.normalize(); aerr != nil {
+							return nil, fmt.Errorf("serve: catalog grid cell invalid: %s", aerr.Message)
+						}
+						v, err := s.optimizeResult(ctx, req)
+						if errors.Is(err, sramco.ErrInfeasible) {
+							continue
+						}
+						if err != nil {
+							return nil, fmt.Errorf("serve: catalog fill %s: %w", req.key("optimize"), err)
+						}
+						if err := add(req.key("optimize"), v); err != nil {
+							return nil, err
+						}
 					}
 				}
 				if !grid.Pareto {

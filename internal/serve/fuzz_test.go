@@ -90,6 +90,16 @@ func FuzzDecodeRequest(f *testing.F) {
 		{3, `{"flavor":"hvt","n":1}`},             // too few samples
 		{3, `{"flavor":"hvt","n":999999999}`},     // absurd sample count
 		{3, `{"flavor":"hvt","metrics":["bad"]}`}, // unknown metric
+		{0, `{"capacity_bytes":1024,"flavor":"lvt","objective":"padp","groups":8,"mux":4}`},
+		{0, `{"capacity_bytes":1024,"flavor":"hvt","objective":"area"}`},
+		{0, `{"capacity_bytes":128,"flavor":"hvt","groups":3}`},                 // non-power-of-two groups
+		{0, `{"capacity_bytes":128,"flavor":"hvt","w":64,"groups":8}`},          // groups exceed the tallest organization's rows
+		{0, `{"capacity_bytes":128,"flavor":"hvt","mux":3}`},                    // non-power-of-two mux
+		{0, `{"capacity_bytes":128,"flavor":"hvt","mux":-2}`},                   // negative mux
+		{0, `{"capacity_bytes":1024,"flavor":"lvt","w":16,"mux":32}`},           // mux wider than the access width
+		{1, `{"nr":32,"nc":64,"w":32,"flavor":"lvt","method":"m2","mux":2,"groups":4,"group_mask":5}`},
+		{1, `{"nr":32,"nc":64,"w":32,"flavor":"lvt","method":"m2","group_mask":3}`}, // mask without groups
+		{1, `{"nr":36,"nc":64,"w":32,"flavor":"lvt","method":"m2","groups":8}`},     // rows not divisible by groups
 	}
 	for _, s := range seeds {
 		f.Add(s.which, []byte(s.body))
@@ -152,6 +162,10 @@ func FuzzDecodeBatch(f *testing.F) {
 		`{"op":"evaluate","nr":0,"nc":0}`,
 		"{\"op\":\"optimize\",\"capacity_bytes\":128,\"flavor\":\"hvt\"}\nnull",
 		`{"op":3}`,
+		`{"op":"optimize","capacity_bytes":1024,"flavor":"lvt","objective":"padp","groups":4,"mux":2}`,
+		`{"op":"evaluate","flavor":"lvt","nr":32,"nc":32,"npre":1,"nwr":1,"groups":2,"group_mask":1,"mux":2}`,
+		`{"op":"optimize","capacity_bytes":128,"flavor":"hvt","groups":3}`,
+		`{"op":"evaluate","flavor":"lvt","nr":32,"nc":32,"npre":1,"nwr":1,"group_mask":7}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))

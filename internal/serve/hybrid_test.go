@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHybridRequestValidation pins the 4xx surface of the new search
+// dimensions: every malformed groups/mux/objective combination must come
+// back as a structured 400 envelope naming the offending field — never a
+// 500, never a silent acceptance.
+func TestHybridRequestValidation(t *testing.T) {
+	s := New(framework(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		path string
+		body string
+		want string // substring of the error message
+	}{
+		{"negative groups", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","groups":-2}`, "groups"},
+		{"non-power-of-two groups", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","groups":3}`, "groups"},
+		{"groups above max", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","groups":16}`, "groups"},
+		{"groups exceed rows", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","w":256,"groups":8}`, "rows"},
+		{"negative mux", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","mux":-4}`, "mux"},
+		{"non-power-of-two mux", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","mux":3}`, "mux"},
+		{"mux above width", "/v1/optimize", `{"capacity_bytes":1024,"flavor":"lvt","w":16,"mux":32}`, "mux"},
+		{"unknown objective", "/v1/optimize", `{"capacity_bytes":128,"flavor":"hvt","objective":"adp"}`, "objective"},
+		{"evaluate bad groups", "/v1/evaluate", `{"nr":32,"nc":64,"w":32,"flavor":"lvt","npre":1,"nwr":1,"groups":5}`, "groups"},
+		{"evaluate rows not divisible", "/v1/evaluate", `{"nr":36,"nc":64,"w":32,"flavor":"lvt","npre":1,"nwr":1,"groups":8}`, ""},
+		{"evaluate mask without groups", "/v1/evaluate", `{"nr":32,"nc":64,"w":32,"flavor":"lvt","npre":1,"nwr":1,"group_mask":3}`, "group_mask"},
+		{"evaluate mask overflow", "/v1/evaluate", `{"nr":32,"nc":64,"w":32,"flavor":"lvt","npre":1,"nwr":1,"groups":2,"group_mask":4}`, "group_mask"},
+		{"evaluate bad mux", "/v1/evaluate", `{"nr":32,"nc":64,"w":32,"flavor":"lvt","npre":1,"nwr":1,"mux":3}`, "mux"},
+	} {
+		code, _, body := postJSON(t, ts.URL+tc.path, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, code, body)
+			continue
+		}
+		var env struct {
+			Error apiError `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Errorf("%s: unparseable envelope %s: %v", tc.name, body, err)
+			continue
+		}
+		if env.Error.Status != http.StatusBadRequest || env.Error.Message == "" {
+			t.Errorf("%s: malformed envelope %+v", tc.name, env.Error)
+		}
+		if tc.want != "" && !strings.Contains(strings.ToLower(env.Error.Message), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, env.Error.Message, tc.want)
+		}
+	}
+}
+
+// TestHybridEvaluateEndpoint round-trips a hybrid + muxed design through
+// /v1/evaluate: the response must echo the hybrid fields on the design and
+// carry the new area/PADP metrics.
+func TestHybridEvaluateEndpoint(t *testing.T) {
+	s := New(framework(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _, body := postJSON(t, ts.URL+"/v1/evaluate",
+		`{"nr":64,"nc":64,"w":32,"flavor":"lvt","method":"m2","npre":4,"nwr":1,"mux":2,"groups":4,"group_mask":5}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if resp.Request.Groups != 4 || resp.Request.GroupMask != 5 || resp.Request.Mux != 2 {
+		t.Errorf("request echo lost hybrid fields: %+v", resp.Request)
+	}
+	d := resp.Result.Design
+	if d.Groups != 4 || d.GroupMask != 5 || d.Geom.MuxRatio() != 2 {
+		t.Errorf("result design lost hybrid fields: %+v", d)
+	}
+	if resp.Result.Area <= 0 || resp.Result.PADP <= 0 {
+		t.Errorf("area/PADP missing from result: area=%g padp=%g", resp.Result.Area, resp.Result.PADP)
+	}
+	if resp.Result.PADP != resp.Result.EDP*resp.Result.Area {
+		t.Errorf("PADP %g != EDP·Area %g", resp.Result.PADP, resp.Result.EDP*resp.Result.Area)
+	}
+}
+
+// TestHybridOptimizeEndpoint runs a small live hybrid search through the
+// serving layer and checks the canonical-key separation: the same cell with
+// and without the hybrid dimension must occupy distinct cache entries.
+func TestHybridOptimizeEndpoint(t *testing.T) {
+	s := New(framework(t), Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	plainBody := `{"capacity_bytes":128,"flavor":"lvt","method":"m2","objective":"padp"}`
+	hybBody := `{"capacity_bytes":128,"flavor":"lvt","method":"m2","objective":"padp","groups":2,"mux":2}`
+
+	code, _, body := postJSON(t, ts.URL+"/v1/optimize", plainBody)
+	if code != http.StatusOK {
+		t.Fatalf("plain: status %d, body %s", code, body)
+	}
+	var plain OptimizeResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	code, hdr, body := postJSON(t, ts.URL+"/v1/optimize", hybBody)
+	if code != http.StatusOK {
+		t.Fatalf("hybrid: status %d, body %s", code, body)
+	}
+	if got := hdr.Get("X-Cache"); got != "miss" {
+		t.Errorf("hybrid request hit the plain request's cache entry (X-Cache %q)", got)
+	}
+	var hyb OptimizeResponse
+	if err := json.Unmarshal(body, &hyb); err != nil {
+		t.Fatal(err)
+	}
+	if hyb.Request.Groups != 2 || hyb.Request.Mux != 2 {
+		t.Errorf("request echo lost hybrid fields: %+v", hyb.Request)
+	}
+	if hyb.Result.PADP > plain.Result.PADP {
+		t.Errorf("hybrid optimum PADP %g worse than the pure search %g", hyb.Result.PADP, plain.Result.PADP)
+	}
+
+	// groups=1 canonicalizes to the degenerate search: same canonical key,
+	// so the second request must hit the first's cache entry.
+	code, hdr, _ = postJSON(t, ts.URL+"/v1/optimize",
+		`{"capacity_bytes":128,"flavor":"lvt","method":"m2","objective":"padp","groups":1,"mux":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("degenerate: status %d", code)
+	}
+	if got := hdr.Get("X-Cache"); got != "hit" {
+		t.Errorf("groups=1/mux=1 should canonicalize onto the plain entry (X-Cache %q)", got)
+	}
+}
+
+// TestCatalogServesHybridEntries is the byte-equality gate for the bumped
+// (version 3) catalog format: a catalog built with hybrid group counts in
+// its grid must answer hybrid /v1/optimize lookups bit-identically to a
+// live search, under distinct canonical keys from the single-flavor
+// entries of the same grid cell.
+func TestCatalogServesHybridEntries(t *testing.T) {
+	fw := framework(t)
+	grid := CatalogGrid{
+		CapacitiesBytes: []int{128},
+		Flavors:         []string{"lvt"},
+		Methods:         []string{"m2"},
+		Objectives:      []string{"edp", "padp"},
+		Groups:          []int{2},
+	}
+	withCat := New(fw, Config{})
+	cat, err := withCat.BuildCatalog(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 objectives × (plain + groups=2).
+	if got, want := cat.Len(), 4; got != want {
+		t.Fatalf("catalog has %d entries, want %d", got, want)
+	}
+	withCat.SetCatalog(cat)
+	live := New(fw, Config{})
+
+	tsCat := httptest.NewServer(withCat.Handler())
+	defer tsCat.Close()
+	tsLive := httptest.NewServer(live.Handler())
+	defer tsLive.Close()
+
+	seen := map[string]bool{}
+	for _, obj := range []string{"edp", "padp"} {
+		for _, groups := range []int{0, 2} {
+			body := fmt.Sprintf(`{"capacity_bytes":128,"flavor":"lvt","method":"m2","objective":%q,"groups":%d}`, obj, groups)
+			code, hdr, got := postJSON(t, tsCat.URL+"/v1/optimize", body)
+			if code != http.StatusOK || hdr.Get("X-Cache") != "catalog" {
+				t.Fatalf("%s: status %d X-Cache %q, want 200/catalog", body, code, hdr.Get("X-Cache"))
+			}
+			codeLive, _, want := postJSON(t, tsLive.URL+"/v1/optimize", body)
+			if codeLive != http.StatusOK {
+				t.Fatalf("%s: live search failed: %d %s", body, codeLive, want)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: catalog response not bit-identical to live search", body)
+			}
+			if seen[string(got)] {
+				t.Errorf("%s: response identical to another grid cell — canonical keys collided", body)
+			}
+			seen[string(got)] = true
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"sramco"
+	"sramco/internal/array"
 	"sramco/internal/mc"
 	"sramco/internal/wire"
 )
@@ -59,8 +60,16 @@ type OptimizeRequest struct {
 	CapacityBytes int    `json:"capacity_bytes"`
 	Flavor        string `json:"flavor"`              // "lvt" | "hvt"
 	Method        string `json:"method,omitempty"`    // "m1" | "m2" (default)
-	Objective     string `json:"objective,omitempty"` // "edp" (default) | "delay" | "energy"
+	Objective     string `json:"objective,omitempty"` // "edp" (default) | "delay" | "energy" | "area" | "padp"
 	DWL           bool   `json:"dwl,omitempty"`       // also search divided-wordline segmentation
+
+	// Groups > 1 searches hybrid cell assignments: the rows split into that
+	// many groups, each free to carry flavor or its complement. 0 or 1 keep
+	// the single-flavor search.
+	Groups int `json:"groups,omitempty"`
+	// Mux > 1 extends the search with column-mux ratios (sense-amp sharing)
+	// up to this power of two. 0 or 1 search the unshared organization only.
+	Mux int `json:"mux,omitempty"`
 
 	Alpha *float64 `json:"alpha,omitempty"` // activity α, default 0.5
 	Beta  *float64 `json:"beta,omitempty"`  // activity β, default 0.5
@@ -97,12 +106,32 @@ func (r *OptimizeRequest) normalize() *apiError {
 	}
 	r.Method = strings.ToLower(method.String())
 	if _, ok := sramco.ObjectiveByName(r.Objective); !ok {
-		return badRequest("unknown objective %q (want edp, delay or energy)", r.Objective)
+		return badRequest("unknown objective %q (want edp, delay, energy, area or padp)", r.Objective)
 	}
 	if r.Objective == "" {
 		r.Objective = "edp"
 	}
 	r.Objective = strings.ToLower(r.Objective)
+	if r.Groups < 0 {
+		return badRequest("groups must be non-negative, got %d", r.Groups)
+	}
+	if r.Groups == 1 {
+		r.Groups = 0 // canonical "single flavor" spelling
+	}
+	if r.Groups > 1 {
+		if r.Groups > array.MaxGroups || r.Groups&(r.Groups-1) != 0 {
+			return badRequest("groups=%d must be a power of two ≤ %d", r.Groups, array.MaxGroups)
+		}
+	}
+	if r.Mux < 0 {
+		return badRequest("mux must be non-negative, got %d", r.Mux)
+	}
+	if r.Mux == 1 {
+		r.Mux = 0 // canonical "no sharing" spelling
+	}
+	if r.Mux > 1 && r.Mux&(r.Mux-1) != 0 {
+		return badRequest("mux=%d must be a power of two", r.Mux)
+	}
 	if r.Alpha == nil {
 		r.Alpha = ptr(0.5)
 	}
@@ -118,6 +147,14 @@ func (r *OptimizeRequest) normalize() *apiError {
 	if r.W < 1 || r.W > bits {
 		return badRequest("access width w=%d out of range", r.W)
 	}
+	if r.Groups > bits/r.W {
+		// The tallest organization has bits/w rows; more groups than rows can
+		// never divide evenly, so the whole search would be empty.
+		return badRequest("groups=%d exceeds the %d rows of the tallest organization", r.Groups, bits/r.W)
+	}
+	if r.Mux > r.W {
+		return badRequest("mux=%d exceeds the access width w=%d", r.Mux, r.W)
+	}
 	if r.TimeoutMS < 0 {
 		return badRequest("timeout_ms must be non-negative, got %d", r.TimeoutMS)
 	}
@@ -128,8 +165,8 @@ func (r *OptimizeRequest) normalize() *apiError {
 // given endpoint prefix. The per-request deadline is deliberately excluded:
 // it shapes how long a caller waits, not what is computed.
 func (r *OptimizeRequest) key(endpoint string) string {
-	return fmt.Sprintf("%s|cap=%d|flavor=%s|method=%s|obj=%s|dwl=%t|alpha=%g|beta=%g|w=%d",
-		endpoint, r.CapacityBytes, r.Flavor, r.Method, r.Objective, r.DWL, *r.Alpha, *r.Beta, r.W)
+	return fmt.Sprintf("%s|cap=%d|flavor=%s|method=%s|obj=%s|dwl=%t|alpha=%g|beta=%g|w=%d|groups=%d|mux=%d",
+		endpoint, r.CapacityBytes, r.Flavor, r.Method, r.Objective, r.DWL, *r.Alpha, *r.Beta, r.W, r.Groups, r.Mux)
 }
 
 // options maps a normalized request onto the search options.
@@ -146,7 +183,7 @@ func (r *OptimizeRequest) options() (sramco.Options, error) {
 	if !ok {
 		return sramco.Options{}, fmt.Errorf("serve: unknown objective %q", r.Objective)
 	}
-	return sramco.Options{
+	o := sramco.Options{
 		CapacityBits: r.CapacityBytes * 8,
 		Flavor:       flavor,
 		Method:       method,
@@ -154,7 +191,16 @@ func (r *OptimizeRequest) options() (sramco.Options, error) {
 		Activity:     sramco.Activity{Alpha: *r.Alpha, Beta: *r.Beta},
 		W:            r.W,
 		SearchWLSegs: r.DWL,
-	}, nil
+		HybridGroups: r.Groups,
+	}
+	if r.Mux > 1 {
+		// The zero Space means "defaults" to Options.normalize; widening one
+		// bound therefore starts from the full default space.
+		sp := sramco.DefaultSearchSpace()
+		sp.MuxMax = r.Mux
+		o.Space = sp
+	}
+	return o, nil
 }
 
 // EvaluateRequest is the body of /v1/evaluate: one explicit design point.
@@ -170,6 +216,13 @@ type EvaluateRequest struct {
 	Nwr    int `json:"nwr"`
 	W      int `json:"w,omitempty"`       // default min(64, nc)
 	WLSegs int `json:"wl_segs,omitempty"` // default 1 (flat wordline)
+	Mux    int `json:"mux,omitempty"`     // column-mux ratio; 0/1 = one SA per column pair
+
+	// Groups/GroupMask select a hybrid cell assignment: the rows split into
+	// Groups equal groups (SA-near first) and set mask bits carry the
+	// complement of Flavor. Zero evaluates the single-flavor array.
+	Groups    int    `json:"groups,omitempty"`
+	GroupMask uint32 `json:"group_mask,omitempty"`
 
 	VDDC *float64 `json:"vddc,omitempty"` // volts; default: method-pinned rail
 	VSSC float64  `json:"vssc,omitempty"` // volts, ≤ 0
@@ -208,9 +261,32 @@ func (r *EvaluateRequest) normalize() *apiError {
 	if r.WLSegs == 0 {
 		r.WLSegs = 1
 	}
-	geom := wire.Geometry{NR: r.NR, NC: r.NC, W: r.W, Npre: r.Npre, Nwr: r.Nwr, WLSegs: r.WLSegs}
+	if r.Mux == 1 {
+		r.Mux = 0 // canonical "no sharing" spelling
+	}
+	geom := wire.Geometry{NR: r.NR, NC: r.NC, W: r.W, Npre: r.Npre, Nwr: r.Nwr, WLSegs: r.WLSegs, Mux: r.Mux}
 	if err := geom.Validate(); err != nil {
 		return badRequest("%v", err)
+	}
+	if r.Groups < 0 {
+		return badRequest("groups must be non-negative, got %d", r.Groups)
+	}
+	if r.Groups == 1 {
+		r.Groups = 0 // canonical "single flavor" spelling
+	}
+	if r.Groups == 0 && r.GroupMask != 0 {
+		return badRequest("group_mask=%#x requires groups", r.GroupMask)
+	}
+	if r.Groups > 1 {
+		if r.Groups > array.MaxGroups || r.Groups&(r.Groups-1) != 0 {
+			return badRequest("groups=%d must be a power of two ≤ %d", r.Groups, array.MaxGroups)
+		}
+		if r.NR%r.Groups != 0 {
+			return badRequest("groups=%d must divide nr=%d", r.Groups, r.NR)
+		}
+		if r.GroupMask >= 1<<uint(r.Groups) {
+			return badRequest("group_mask=%#x has bits beyond groups=%d", r.GroupMask, r.Groups)
+		}
 	}
 	if r.VSSC > 0 {
 		return badRequest("vssc=%g must be ≤ 0", r.VSSC)
@@ -228,9 +304,9 @@ func (r *EvaluateRequest) normalize() *apiError {
 }
 
 func (r *EvaluateRequest) key() string {
-	return fmt.Sprintf("evaluate|flavor=%s|method=%s|geom=%dx%d:%d:%d:%d:%d|vddc=%s|vssc=%g|vwl=%s|alpha=%g|beta=%g",
+	return fmt.Sprintf("evaluate|flavor=%s|method=%s|geom=%dx%d:%d:%d:%d:%d|vddc=%s|vssc=%g|vwl=%s|alpha=%g|beta=%g|groups=%d|mask=%d|mux=%d",
 		r.Flavor, r.Method, r.NR, r.NC, r.W, r.Npre, r.Nwr, r.WLSegs,
-		optF(r.VDDC), r.VSSC, optF(r.VWL), *r.Alpha, *r.Beta)
+		optF(r.VDDC), r.VSSC, optF(r.VWL), *r.Alpha, *r.Beta, r.Groups, r.GroupMask, r.Mux)
 }
 
 // design assembles the array design, pinning unspecified rails from the
@@ -255,8 +331,9 @@ func (r *EvaluateRequest) design(fw *sramco.Framework) (sramco.Flavor, sramco.De
 		vwl = *r.VWL
 	}
 	d := sramco.Design{
-		Geom: wire.Geometry{NR: r.NR, NC: r.NC, W: r.W, Npre: r.Npre, Nwr: r.Nwr, WLSegs: r.WLSegs},
+		Geom: wire.Geometry{NR: r.NR, NC: r.NC, W: r.W, Npre: r.Npre, Nwr: r.Nwr, WLSegs: r.WLSegs, Mux: r.Mux},
 		VDDC: vddc, VSSC: r.VSSC, VWL: vwl,
+		Groups: r.Groups, GroupMask: r.GroupMask,
 	}
 	return flavor, d, sramco.Activity{Alpha: *r.Alpha, Beta: *r.Beta}, nil
 }

@@ -1,0 +1,92 @@
+package wire
+
+import "testing"
+
+// TestMuxAreaMonotone pins the sanity properties of the column-mux area
+// term: MuxArea is non-decreasing in both inputs, exactly zero for the
+// degenerate encodings, and scales linearly in the access width.
+func TestMuxAreaMonotone(t *testing.T) {
+	if MuxArea(64, 0) != 0 || MuxArea(64, 1) != 0 {
+		t.Error("degenerate mux ratios must contribute exactly zero area")
+	}
+	for _, w := range []int{8, 16, 32, 64, 128} {
+		prev := 0.0
+		for _, m := range []int{0, 2, 4, 8} {
+			a := MuxArea(w, m)
+			if a < prev {
+				t.Errorf("MuxArea(%d, %d) = %g decreased from %g", w, m, a, prev)
+			}
+			prev = a
+		}
+	}
+	for _, m := range []int{2, 4, 8} {
+		prev := 0.0
+		for _, w := range []int{8, 16, 32, 64, 128} {
+			a := MuxArea(w, m)
+			if a <= prev {
+				t.Errorf("MuxArea(%d, %d) = %g did not grow with width from %g", w, m, a, prev)
+			}
+			prev = a
+		}
+	}
+	if got, want := MuxArea(128, 4), 2*MuxArea(64, 4); got != want {
+		t.Errorf("MuxArea not linear in width: MuxArea(128,4)=%g, want %g", got, want)
+	}
+}
+
+// TestAreaMonotoneInBuffers pins that total layout area is non-decreasing
+// (in fact strictly increasing) in the precharger and write-buffer sizing
+// knobs, and that the factored form (AreaBase + Npre·AreaPreUnit +
+// Nwr·AreaWrUnit) reproduces Area bit-for-bit — the contract the sweeping
+// evaluator's amortized area path relies on.
+func TestAreaMonotoneInBuffers(t *testing.T) {
+	for _, mux := range []int{0, 2, 4, 8} {
+		g := Geometry{NR: 256, NC: 128, W: 64, Npre: 1, Nwr: 1, Mux: mux}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("mux=%d: %v", mux, err)
+		}
+		for npre := 1; npre <= 32; npre++ {
+			for nwr := 1; nwr <= 4; nwr++ {
+				g.Npre, g.Nwr = npre, nwr
+				a := Area(g)
+				if want := (AreaBase(g) + float64(npre)*AreaPreUnit(g)) + float64(nwr)*AreaWrUnit(g); a != want {
+					t.Fatalf("mux=%d npre=%d nwr=%d: Area %g != factored form %g", mux, npre, nwr, a, want)
+				}
+				g.Npre = npre + 1
+				if up := Area(g); up <= a {
+					t.Errorf("mux=%d npre=%d nwr=%d: area %g did not grow with npre (%g)", mux, npre, nwr, up, a)
+				}
+				g.Npre, g.Nwr = npre, nwr+1
+				if up := Area(g); up <= a {
+					t.Errorf("mux=%d npre=%d nwr=%d: area %g did not grow with nwr (%g)", mux, npre, nwr, up, a)
+				}
+			}
+		}
+	}
+}
+
+// TestMuxRatioEncoding pins the canonical degenerate encoding: 0 and 1 both
+// mean "no sharing" and report ratio 1; validation rejects a non-power-of-
+// two ratio and a ratio above the access width.
+func TestMuxRatioEncoding(t *testing.T) {
+	g := Geometry{NR: 128, NC: 128, W: 64, Npre: 1, Nwr: 1}
+	if g.MuxRatio() != 1 {
+		t.Errorf("Mux=0 ratio = %d, want 1", g.MuxRatio())
+	}
+	g.Mux = 1
+	if g.MuxRatio() != 1 {
+		t.Errorf("Mux=1 ratio = %d, want 1", g.MuxRatio())
+	}
+	g.Mux = 8
+	if g.MuxRatio() != 8 {
+		t.Errorf("Mux=8 ratio = %d, want 8", g.MuxRatio())
+	}
+	g.Mux = 3
+	if err := g.Validate(); err == nil {
+		t.Error("non-power-of-two mux ratio accepted")
+	}
+	g.Mux = 128
+	if err := g.Validate(); err == nil {
+		t.Error("mux ratio above the access width accepted")
+	}
+}

@@ -62,6 +62,14 @@ type Geometry struct {
 	Nwr  int // write-buffer fins
 
 	WLSegs int // wordline segments (0/1 = flat; else a power of two)
+
+	// Mux is the sense-amp sharing ratio: Mux accessed columns share one
+	// sense amplifier through an output column multiplexer, so the array
+	// carries W/Mux sense amps plus W·Mux transmission gates. 0 (or 1)
+	// selects the paper's organization of one sense amp per accessed bit.
+	// The omitempty tag keeps the degenerate encoding byte-identical to
+	// designs that predate the field.
+	Mux int `json:",omitempty"`
 }
 
 // Segments returns the normalized wordline segment count (≥ 1).
@@ -70,6 +78,14 @@ func (g Geometry) Segments() int {
 		return 1
 	}
 	return g.WLSegs
+}
+
+// MuxRatio returns the normalized sense-amp sharing ratio (≥ 1).
+func (g Geometry) MuxRatio() int {
+	if g.Mux < 2 {
+		return 1
+	}
+	return g.Mux
 }
 
 // Bits returns the array capacity in bits (M = n_r · n_c).
@@ -104,6 +120,17 @@ func (g Geometry) Validate() error {
 		}
 		if g.NC/s < g.W {
 			return fmt.Errorf("wire: segment width %d below access width %d", g.NC/s, g.W)
+		}
+	}
+	if g.Mux < 0 {
+		return fmt.Errorf("wire: Mux = %d must be ≥ 0", g.Mux)
+	}
+	if m := g.MuxRatio(); m > 1 {
+		if bits.OnesCount(uint(m)) != 1 {
+			return fmt.Errorf("wire: Mux = %d must be a power of two", m)
+		}
+		if m > g.W {
+			return fmt.Errorf("wire: Mux = %d exceeds access width %d", m, g.W)
 		}
 	}
 	return nil
@@ -199,3 +226,71 @@ func COLFixed(g Geometry, d DeviceCaps) float64 {
 	}
 	return float64(g.NC)*CWidth() + wlDriverFins*(d.Cdn+d.Cdp)
 }
+
+// MuxSel returns the sense-amp-sharing select-line capacitance: a wire
+// spanning the W accessed columns loading one transmission-gate pair per
+// shared sense amp, driven by a last-stage driver like WL/COL. Zero when no
+// sense amps are shared (MuxRatio ≤ 1).
+func MuxSel(g Geometry, d DeviceCaps) float64 {
+	m := g.MuxRatio()
+	if m <= 1 {
+		return 0
+	}
+	return float64(g.W)*CWidth() + 2*float64(g.W/m)*(d.Cgn+d.Cgp) +
+		wlDriverFins*(d.Cdn+d.Cdp)
+}
+
+// FinArea is the layout area charged per peripheral fin: a 2×4 metal-pitch
+// footprint (one fin plus its contacts and isolation).
+const FinArea = (2 * PMetal) * (4 * PMetal)
+
+// saFins is the fin count charged per sense amplifier (cross-coupled pair,
+// precharge devices and output latch).
+const saFins = 16
+
+// muxTGFins is the fin count of one output-mux transmission gate.
+const muxTGFins = 2
+
+// MuxArea returns the layout area of the output column multiplexer: W·mux
+// transmission gates of muxTGFins fins each. Zero when no sense amps are
+// shared.
+func MuxArea(w, mux int) float64 {
+	if mux <= 1 {
+		return 0
+	}
+	return float64(w) * float64(mux) * muxTGFins * FinArea
+}
+
+// Area returns the layout area of the array (m²): the cell matrix plus row
+// drivers, rail drivers, sense amps, output mux, prechargers and write
+// buffers. It is composed as
+// (AreaBase + N_pre·AreaPreUnit) + N_wr·AreaWrUnit — in exactly that order —
+// so an evaluator that amortizes the N_pre/N_wr-invariant prefix across a
+// sweep reproduces Area bit-for-bit.
+func Area(g Geometry) float64 {
+	return (AreaBase(g) + float64(g.Npre)*AreaPreUnit(g)) + float64(g.Nwr)*AreaWrUnit(g)
+}
+
+// AreaBase returns the N_pre/N_wr-independent part of Area: cells, row
+// drivers, rail drivers, sense amps and the output mux, summed as
+// ((((cells+rows)+rails)+sa)+mux).
+func AreaBase(g Geometry) float64 {
+	drv := wlDriverFins
+	if s := g.Segments(); s > 1 {
+		drv += s * lwlDriverFins
+	}
+	m := g.MuxRatio()
+	cells := float64(g.NR) * float64(g.NC) * CellWidth * CellHeight
+	rows := float64(g.NR) * float64(drv) * FinArea
+	rails := 4 * railDriverFins * FinArea
+	sa := float64(g.W/m) * saFins * FinArea
+	mux := MuxArea(g.W, m)
+	return (((cells + rows) + rails) + sa) + mux
+}
+
+// AreaPreUnit returns the area added per precharger fin: one fin per column.
+func AreaPreUnit(g Geometry) float64 { return float64(g.NC) * FinArea }
+
+// AreaWrUnit returns the area added per write-buffer fin: two fins (the
+// transmission-gate pair) per accessed bit.
+func AreaWrUnit(g Geometry) float64 { return float64(g.W) * 2 * FinArea }

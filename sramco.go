@@ -129,9 +129,9 @@ func ParseFlavor(s string) (Flavor, error) { return device.ParseFlavor(s) }
 // ParseMethod parses "m1"/"m2" (case-insensitive) into a Method.
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
 
-// ObjectiveByName maps "edp" (or ""), "delay" and "energy" to the built-in
-// search objectives. The name, not the function, is the canonical form used
-// in serialized requests and cache keys.
+// ObjectiveByName maps "edp" (or ""), "delay", "energy", "area" and "padp"
+// to the built-in search objectives. The name, not the function, is the
+// canonical form used in serialized requests and cache keys.
 func ObjectiveByName(name string) (Objective, bool) { return core.ObjectiveByName(name) }
 
 // ErrInfeasible is wrapped by every "no feasible design" search failure;
@@ -217,11 +217,21 @@ func (f *Framework) OptimizeWithContext(ctx context.Context, opts Options) (*Opt
 	return f.core.OptimizeContext(ctx, opts)
 }
 
-// Evaluate runs the analytical array model on one explicit design point.
+// Evaluate runs the analytical array model on one explicit design point. A
+// hybrid design (Design.Groups set) assigns row groups selected by
+// Design.GroupMask to flavor's alternate (LVT↔HVT) and evaluates the array
+// under the per-group cell model.
 func (f *Framework) Evaluate(flavor Flavor, d Design, act Activity) (*Result, error) {
 	tech, err := f.core.ArrayTech(flavor)
 	if err != nil {
 		return nil, err
+	}
+	if d.Groups != 0 {
+		alt, err := f.core.HybridAltTerms(flavor)
+		if err != nil {
+			return nil, err
+		}
+		return array.EvaluateHybrid(tech, d, act, alt)
 	}
 	return array.Evaluate(tech, d, act)
 }
